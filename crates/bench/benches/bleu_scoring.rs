@@ -1,0 +1,41 @@
+//! Cost of the evaluation metrics themselves (BLEU dominates the Table-I
+//! harness's post-training time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
+use ratatouille_eval::bleu::{corpus_bleu, sentence_bleu};
+use ratatouille_eval::diversity::{distinct_n, self_bleu};
+
+fn bench_bleu(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_recipes: 80,
+        ..CorpusConfig::default()
+    });
+    let texts: Vec<String> = corpus.recipes.iter().map(|r| r.to_tagged_string()).collect();
+
+    c.bench_function("sentence_bleu_recipe_pair", |b| {
+        b.iter(|| sentence_bleu(std::hint::black_box(&texts[0]), &[texts[1].as_str()]))
+    });
+
+    let pairs: Vec<(&str, Vec<&str>)> = texts
+        .windows(2)
+        .map(|w| (w[0].as_str(), vec![w[1].as_str()]))
+        .collect();
+    let mut group = c.benchmark_group("corpus_metrics");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("corpus_bleu_79_pairs", |b| {
+        b.iter(|| corpus_bleu(std::hint::black_box(&pairs)))
+    });
+    let subset: Vec<&String> = texts.iter().take(20).collect();
+    group.bench_function("self_bleu_20", |b| {
+        b.iter(|| self_bleu(std::hint::black_box(&subset)))
+    });
+    group.bench_function("distinct2_80", |b| {
+        b.iter(|| distinct_n(std::hint::black_box(&texts), 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bleu);
+criterion_main!(benches);

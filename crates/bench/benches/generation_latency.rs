@@ -1,0 +1,81 @@
+//! **T-latency** — per-recipe generation latency across the four models.
+//!
+//! Reproduces the paper's §II claim that its pipeline "generate[s] a new
+//! recipe within lesser time" than RecipeGPT/RecipeNLG: the measured
+//! quantities are per-token decode cost (KV-cached transformer vs
+//! recurrent LSTM) and tokens-per-recipe (char-level needs ~5× more
+//! decode steps than BPE for the same recipe).
+//!
+//! Latency is weight-independent, so models are benchmarked at init
+//! (training does not change op counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ratatouille::models::registry::{ModelSpec, TABLE1_MODELS};
+use ratatouille::models::sample::{generate, SamplerConfig};
+use ratatouille::pipeline::prompt_for;
+use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_recipes: 120,
+        ..CorpusConfig::default()
+    });
+    let texts: Vec<String> = corpus.recipes.iter().map(|r| r.to_tagged_string()).collect();
+    let ingredients: Vec<String> = vec!["chicken".into(), "garlic".into(), "rice".into()];
+
+    let mut group = c.benchmark_group("generation_latency");
+    group.sample_size(10);
+    for &kind in TABLE1_MODELS {
+        let spec = ModelSpec::build(kind, &texts);
+        let prompt = spec.tokenizer.encode(&prompt_for(&ingredients));
+        // fixed decode budgets mirror realistic recipe lengths per
+        // tokenization (char needs many more steps)
+        let budget = match kind {
+            ratatouille::models::registry::ModelKind::CharLstm => 400,
+            _ => 120,
+        };
+        let cfg = SamplerConfig {
+            max_tokens: budget,
+            stop_token: None, // force the full budget: worst-case latency
+            ..SamplerConfig::default()
+        };
+        group.bench_function(BenchmarkId::new("per_recipe", kind.display_name()), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                generate(spec.model.as_ref(), &prompt, &cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_per_token(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_recipes: 120,
+        ..CorpusConfig::default()
+    });
+    let texts: Vec<String> = corpus.recipes.iter().map(|r| r.to_tagged_string()).collect();
+
+    let mut group = c.benchmark_group("per_token_decode");
+    group.sample_size(20);
+    for &kind in TABLE1_MODELS {
+        let spec = ModelSpec::build(kind, &texts);
+        group.bench_function(BenchmarkId::new("token", kind.display_name()), |b| {
+            b.iter_batched(
+                || spec.model.start_stream(),
+                |mut stream| {
+                    for t in 0..32u32 {
+                        std::hint::black_box(stream.push(2 + (t % 4)));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_per_token);
+criterion_main!(benches);

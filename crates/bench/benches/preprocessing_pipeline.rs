@@ -1,0 +1,44 @@
+//! Throughput of the §III preprocessing pipeline (Fig. 1 → Fig. 2):
+//! corpus generation, the full cleaning pass, and the raw-record parser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
+use ratatouille::recipedb::grammar::RecipeGenerator;
+use ratatouille::recipedb::preprocess::{parse_raw, PreprocessConfig, Preprocessor};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generation");
+    group.sample_size(10);
+    for &n in &[100usize, 500] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("recipes", n), |b| {
+            b.iter(|| {
+                let mut g = RecipeGenerator::new(1);
+                (0..n).map(|_| g.generate()).count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_recipes: 500,
+        ..CorpusConfig::default()
+    });
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(corpus.raw_records.len() as u64));
+    group.bench_function("full_pipeline_500", |b| {
+        b.iter(|| Preprocessor::new(PreprocessConfig::default()).run(&corpus.raw_records))
+    });
+    let raw = corpus.raw_records[0].text.clone();
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.bench_function("parse_one_record", |b| {
+        b.iter(|| parse_raw(std::hint::black_box(&raw)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the tensor substrate's hot kernels — the operations
+//! that dominate training wall-clock (and therefore the CPU-vs-parallel
+//! experiment): matmul, softmax, layer norm, and a full autograd step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ratatouille_tensor::{init, ops, par, Var};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = init::randn(&mut rng, &[n, n], 1.0);
+        let b = init::randn(&mut rng, &[n, n], 1.0);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_function(BenchmarkId::new("square", n), |bch| {
+            bch.iter(|| ops::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_threads(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let n = 256;
+    let a = init::randn(&mut rng, &[n, n], 1.0);
+    let b = init::randn(&mut rng, &[n, n], 1.0);
+    let mut group = c.benchmark_group("matmul_threads");
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("256x256", threads), |bch| {
+            par::set_num_threads(threads);
+            bch.iter(|| ops::matmul(std::hint::black_box(&a), std::hint::black_box(&b)));
+            par::set_num_threads(0);
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_layernorm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = init::randn(&mut rng, &[64, 512], 1.0);
+    let g = init::randn(&mut rng, &[512], 0.1);
+    let beta = init::randn(&mut rng, &[512], 0.1);
+    let scores = init::randn(&mut rng, &[8, 64, 64], 1.0);
+    c.bench_function("softmax_last_64x512", |b| {
+        b.iter(|| ops::softmax_last(std::hint::black_box(&x)))
+    });
+    c.bench_function("causal_masked_softmax_8x64x64", |b| {
+        b.iter(|| ops::causal_masked_softmax(std::hint::black_box(&scores)))
+    });
+    c.bench_function("layer_norm_64x512", |b| {
+        b.iter(|| ops::layer_norm(std::hint::black_box(&x), &g, &beta, 1e-5))
+    });
+}
+
+fn bench_autograd_step(c: &mut Criterion) {
+    // forward+backward through a 2-layer MLP: the autograd tape overhead
+    let mut rng = StdRng::seed_from_u64(2);
+    let w1 = Var::leaf(init::xavier_uniform(&mut rng, 128, 256));
+    let w2 = Var::leaf(init::xavier_uniform(&mut rng, 256, 128));
+    let x = Var::constant(init::randn(&mut rng, &[32, 128], 1.0));
+    c.bench_function("mlp_forward_backward_32x128", |b| {
+        b.iter(|| {
+            w1.zero_grad();
+            w2.zero_grad();
+            let loss = x.matmul(&w1).gelu().matmul(&w2).mean();
+            loss.backward();
+            std::hint::black_box(w1.grad());
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_threads,
+    bench_softmax_layernorm,
+    bench_autograd_step
+);
+criterion_main!(benches);

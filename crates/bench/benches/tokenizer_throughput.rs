@@ -1,0 +1,49 @@
+//! Tokenizer encode/decode throughput across the three tokenizations —
+//! part of the preprocessing-cost story ("taking more processing time in
+//! generating a recipe" is the paper's critique of prior pipelines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
+use ratatouille::tokenizers::{BpeTokenizer, CharTokenizer, Tokenizer, WordTokenizer};
+
+fn bench_tokenizers(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_recipes: 200,
+        ..CorpusConfig::default()
+    });
+    let texts: Vec<String> = corpus.recipes.iter().map(|r| r.to_tagged_string()).collect();
+    let sample = texts[0].clone();
+
+    let toks: Vec<(&str, Box<dyn Tokenizer>)> = vec![
+        ("char", Box::new(CharTokenizer::train(&texts))),
+        ("word", Box::new(WordTokenizer::train(&texts, 2))),
+        ("bpe", Box::new(BpeTokenizer::train(&texts, 384))),
+    ];
+
+    let mut group = c.benchmark_group("tokenize");
+    group.throughput(Throughput::Bytes(sample.len() as u64));
+    for (name, tok) in &toks {
+        group.bench_function(BenchmarkId::new("encode", name), |b| {
+            b.iter(|| tok.encode(std::hint::black_box(&sample)))
+        });
+        let ids = tok.encode(&sample);
+        group.bench_function(BenchmarkId::new("decode", name), |b| {
+            b.iter(|| tok.decode(std::hint::black_box(&ids)))
+        });
+    }
+    group.finish();
+
+    // training cost (the one-time corpus pass)
+    let mut group = c.benchmark_group("tokenizer_train");
+    group.sample_size(10);
+    group.bench_function("bpe_384_merges", |b| {
+        b.iter(|| BpeTokenizer::train(std::hint::black_box(&texts), 384))
+    });
+    group.bench_function("word_vocab", |b| {
+        b.iter(|| WordTokenizer::train(std::hint::black_box(&texts), 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenizers);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! **Ablation: preprocessing stages** — what each §III stage contributes.
+//!
+//! Runs the pipeline with stages disabled one at a time and reports the
+//! effect on the training stream (count, length stats, duplicate and
+//! defect leakage) — the justification for the paper's "removing
+//! incomplete and redundant recipes, fixing the length … 2σ" recipe.
+//!
+//! ```text
+//! cargo run --release -p ratatouille-bench --bin ablation_preprocess
+//! ```
+
+use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
+use ratatouille::recipedb::preprocess::{PreprocessConfig, Preprocessor};
+use ratatouille::recipedb::stats::length_stats;
+use std::collections::HashSet;
+
+fn main() {
+    // A deliberately dirty corpus, so each stage has visible work to do.
+    let corpus = Corpus::generate(CorpusConfig {
+        num_recipes: 800,
+        duplicate_rate: 0.15,
+        truncated_rate: 0.08,
+        incomplete_rate: 0.10,
+        noise_rate: 0.12,
+        ..CorpusConfig::default()
+    });
+
+    let variants: Vec<(&str, PreprocessConfig)> = vec![
+        ("full pipeline", PreprocessConfig::default()),
+        (
+            "no dedup",
+            PreprocessConfig {
+                dedup: false,
+                ..PreprocessConfig::default()
+            },
+        ),
+        (
+            "no 2σ filter",
+            PreprocessConfig {
+                sigma_band: f32::INFINITY,
+                ..PreprocessConfig::default()
+            },
+        ),
+        (
+            "no merge",
+            PreprocessConfig {
+                merge_short: false,
+                ..PreprocessConfig::default()
+            },
+        ),
+        (
+            "no length cap",
+            PreprocessConfig {
+                max_chars: usize::MAX,
+                ..PreprocessConfig::default()
+            },
+        ),
+        (
+            "lenient validation",
+            PreprocessConfig {
+                min_ingredients: 0,
+                min_instructions: 0,
+                ..PreprocessConfig::default()
+            },
+        ),
+    ];
+
+    println!("ABLATION — PREPROCESSING STAGES (§III)\n");
+    println!(
+        "{:<20} {:>8} {:>10} {:>10} {:>8} {:>10}",
+        "variant", "texts", "mean len", "max len", "dups", "2σ-kept%"
+    );
+    println!("{}", "-".repeat(72));
+    for (name, cfg) in variants {
+        let (texts, report) = Preprocessor::new(cfg).run(&corpus.raw_records);
+        let stats = length_stats(&texts);
+        // residual duplicates in the output stream
+        let mut seen = HashSet::new();
+        let dups = texts.iter().filter(|t| !seen.insert(t.as_str())).count();
+        println!(
+            "{:<20} {:>8} {:>10.0} {:>10} {:>8} {:>9.1}%",
+            name,
+            report.output_texts,
+            stats.mean,
+            stats.max,
+            dups,
+            stats.within_2_sigma * 100.0
+        );
+    }
+    println!("\nexpected shape: disabling dedup leaks duplicate training records (memorization");
+    println!("fuel); disabling the 2σ filter admits the long tail; the cap and merge stages are");
+    println!("insurance for corpora longer/shorter than this synthetic one (the paper's real");
+    println!("RecipeDB recipes reach 2000+ characters, where the cap bites).");
+}

@@ -1,0 +1,74 @@
+//! **Ablation: fraction/number special tokens** — the paper's stated
+//! differentiator over RecipeGPT/RecipeNLG is "special tokens to account
+//! the fractions and numbers". This ablation measures what they buy:
+//! tokenization efficiency over quantities and exact fraction fidelity
+//! through an encode→decode round trip.
+//!
+//! ```text
+//! cargo run --release -p ratatouille-bench --bin ablation_tokens
+//! ```
+
+use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
+use ratatouille::tokenizers::{special, BpeTokenizer, Tokenizer};
+
+fn main() {
+    let corpus = Corpus::generate(CorpusConfig {
+        num_recipes: 400,
+        ..CorpusConfig::default()
+    });
+    let with_tokens: Vec<String> = corpus
+        .recipes
+        .iter()
+        .map(|r| r.to_tagged_string()) // fractions → atomic tokens
+        .collect();
+    let without_tokens: Vec<String> = with_tokens
+        .iter()
+        .map(|t| special::decode_fractions(t)) // back to "1/2" surface text
+        .collect();
+
+    let tok_with = BpeTokenizer::train(&with_tokens, 384);
+    let tok_without = BpeTokenizer::train(&without_tokens, 384);
+
+    println!("ABLATION — FRACTION/NUMBER SPECIAL TOKENS\n");
+
+    // 1. tokens spent per recipe
+    let avg = |tok: &BpeTokenizer, texts: &[String]| -> f64 {
+        texts.iter().take(100).map(|t| tok.encode(t).len() as f64).sum::<f64>() / 100.0
+    };
+    let with_len = avg(&tok_with, &with_tokens);
+    let without_len = avg(&tok_without, &without_tokens);
+    println!("avg tokens per recipe  with fraction tokens: {with_len:.1}");
+    println!("avg tokens per recipe  without:              {without_len:.1}");
+    println!(
+        "savings: {:.1}%\n",
+        (1.0 - with_len / without_len) * 100.0
+    );
+
+    // 2. fraction fidelity: does "1/2" survive encode→decode atomically?
+    let probe = "<INGR_START> 1/2 cup butter <NEXT_INGR> 1/16 teaspoon saffron <INGR_END>";
+    let tagged_probe = special::encode_fractions(probe);
+    let roundtrip_with = tok_with.decode(&tok_with.encode(&tagged_probe));
+    let ok_with = roundtrip_with.contains("<FRAC_1_2>") && roundtrip_with.contains("<FRAC_1_16>");
+    println!("fraction atomicity with special tokens:  {}", if ok_with { "preserved (single id per fraction)" } else { "broken" });
+
+    let ids_without = tok_without.encode("1/2");
+    println!(
+        "without special tokens, \"1/2\" costs {} BPE tokens (can split mid-fraction under sampling)",
+        ids_without.len()
+    );
+
+    // 3. quantity-bearing vocabulary pressure
+    let frac_ids: Vec<_> = special::fraction_tokens()
+        .iter()
+        .filter_map(|t| tok_with.special_id(t))
+        .collect();
+    println!(
+        "\nreserved fraction ids: {} (always atomic, never split by BPE merges)",
+        frac_ids.len()
+    );
+    println!("\nexpected shape: the win is ATOMICITY, not compression — a well-trained BPE");
+    println!("learns multi-byte chunks for frequent fractions anyway (so tokens/recipe is a");
+    println!("wash), but only reserved ids guarantee a sampled quantity can never be cut");
+    println!("mid-fraction — the property the paper credits for generating correct");
+    println!("quantities and units.");
+}

@@ -1,0 +1,109 @@
+//! **§VII future work, implemented** — "For future work, we intend to use
+//! GPT-Neo which is built on similar architecture of GPT-3."
+//!
+//! Trains GPT-Neo (alternating global/local attention) head-to-head with
+//! GPT-2 medium at identical width/depth/budget and compares Table-I
+//! metrics — the experiment the paper proposed but did not run.
+//!
+//! ```text
+//! RATATOUILLE_SCALE=quick cargo run --release -p ratatouille-bench --bin future_work_gptneo
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ratatouille::eval::bleu::corpus_bleu;
+use ratatouille::models::data::Dataset;
+use ratatouille::models::gptneo::{GptNeoConfig, GptNeoLm};
+use ratatouille::models::registry::{ModelKind, ModelSpec};
+use ratatouille::models::sample::{generate, SamplerConfig};
+use ratatouille::models::train::Trainer;
+use ratatouille::models::LanguageModel;
+use ratatouille::pipeline::{prompt_for, spaced_tags};
+use ratatouille::tokenizers::{special, Tokenizer};
+use ratatouille::Pipeline;
+use ratatouille_bench::{pipeline_config, scaled_train_config, Scale};
+
+fn eval_bleu(
+    model: &dyn LanguageModel,
+    tokenizer: &dyn Tokenizer,
+    pipeline: &Pipeline,
+    n: usize,
+) -> f64 {
+    let mut pairs_owned: Vec<(String, String)> = Vec::new();
+    for (i, recipe) in pipeline.test_recipes.iter().take(n).enumerate() {
+        let ingredients: Vec<String> = recipe.ingredients.iter().map(|l| l.name.clone()).collect();
+        let prompt_text = prompt_for(&ingredients);
+        let prompt = tokenizer.encode(&prompt_text);
+        let mut rng = StdRng::seed_from_u64(42 ^ i as u64);
+        let cfg = SamplerConfig {
+            stop_token: Some(tokenizer.eos_id()),
+            max_tokens: 180,
+            temperature: 0.7,
+            top_p: 0.9,
+            ..SamplerConfig::default()
+        };
+        let out = generate(model, &prompt, &cfg, &mut rng);
+        let candidate = tokenizer.decode(&out);
+        let reference = recipe
+            .to_tagged_string()
+            .split_once(special::TITLE_START)
+            .map(|(_, rest)| rest.to_string())
+            .unwrap_or_default();
+        pairs_owned.push((spaced_tags(&candidate), spaced_tags(&reference)));
+    }
+    let pairs: Vec<(&str, Vec<&str>)> = pairs_owned
+        .iter()
+        .map(|(c, r)| (c.as_str(), vec![r.as_str()]))
+        .collect();
+    corpus_bleu(&pairs)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let pipeline = Pipeline::prepare(pipeline_config(scale));
+    println!("FUTURE WORK — GPT-NEO vs GPT-2 MEDIUM (equal width/depth/budget)\n");
+
+    // GPT-2 medium baseline via the registry.
+    let spec = ModelSpec::build(ModelKind::Gpt2Medium, &pipeline.train_texts);
+    let cfg = scaled_train_config(spec.default_train_config(), scale);
+    let ds = Dataset::from_texts(&pipeline.train_texts, spec.tokenizer.as_ref(), spec.block_size);
+    eprintln!("[gptneo-bench] training GPT-2 medium ({} steps)…", cfg.steps);
+    let gpt2_stats = Trainer::new(spec.model.as_ref(), &ds, cfg.clone()).train();
+
+    // GPT-Neo at the same shape, same tokenizer, same budget.
+    let neo = GptNeoLm::new(GptNeoConfig::small(spec.tokenizer.vocab_size()));
+    eprintln!("[gptneo-bench] training GPT-Neo ({} steps)…", cfg.steps);
+    let neo_stats = Trainer::new(&neo, &ds, cfg).train();
+
+    let n = scale.eval_recipes();
+    let gpt2_bleu = eval_bleu(spec.model.as_ref(), spec.tokenizer.as_ref(), &pipeline, n);
+    let neo_bleu = eval_bleu(&neo, spec.tokenizer.as_ref(), &pipeline, n);
+
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>10}",
+        "model", "params", "final loss", "train (s)", "BLEU"
+    );
+    println!("{}", "-".repeat(74));
+    println!(
+        "{:<24} {:>10} {:>12.3} {:>12.1} {:>10.3}",
+        spec.model.name(),
+        spec.model.num_params(),
+        gpt2_stats.final_loss(10),
+        gpt2_stats.wall_secs,
+        gpt2_bleu
+    );
+    println!(
+        "{:<24} {:>10} {:>12.3} {:>12.1} {:>10.3}",
+        neo.name(),
+        neo.num_params(),
+        neo_stats.final_loss(10),
+        neo_stats.wall_secs,
+        neo_bleu
+    );
+    println!(
+        "\nlocal-attention layers see a {}-token window; at recipe lengths (≤192 tokens)\n\
+         GPT-Neo should be roughly at parity — the paper's hoped-for gain comes from\n\
+         pre-training scale, which no offline reproduction can supply.",
+        GptNeoConfig::small(10).window
+    );
+}

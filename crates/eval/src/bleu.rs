@@ -1,0 +1,262 @@
+//! BLEU (Papineni et al., 2002) with Chen & Cherry (2014) smoothing —
+//! the metric behind Table I.
+//!
+//! Implementation notes:
+//! * modified n-gram precision with per-reference clipping;
+//! * geometric mean over orders 1..=4 (configurable);
+//! * brevity penalty `exp(1 - r/c)` with the closest-reference-length
+//!   convention;
+//! * smoothing method 1 (add-epsilon on zero counts) so short candidates
+//!   do not collapse the geometric mean to zero.
+
+use std::collections::HashMap;
+
+/// Default maximum n-gram order.
+pub const DEFAULT_MAX_N: usize = 4;
+
+/// Sentence BLEU-4 of whitespace-tokenized `candidate` against one or
+/// more `references`. Returns a value in `[0, 1]`.
+pub fn sentence_bleu(candidate: &str, references: &[&str]) -> f64 {
+    let cand: Vec<&str> = candidate.split_whitespace().collect();
+    let refs: Vec<Vec<&str>> = references
+        .iter()
+        .map(|r| r.split_whitespace().collect())
+        .collect();
+    bleu_tokens(&cand, &refs, DEFAULT_MAX_N)
+}
+
+/// Corpus BLEU: aggregates n-gram statistics over all candidate/reference
+/// pairs before combining (the standard corpus-level formulation — not a
+/// mean of sentence scores).
+pub fn corpus_bleu(pairs: &[(&str, Vec<&str>)]) -> f64 {
+    corpus_bleu_n(pairs, DEFAULT_MAX_N)
+}
+
+/// Corpus BLEU with an explicit maximum order.
+pub fn corpus_bleu_n(pairs: &[(&str, Vec<&str>)], max_n: usize) -> f64 {
+    assert!(max_n >= 1, "max_n must be >= 1");
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut matched = vec![0usize; max_n];
+    let mut total = vec![0usize; max_n];
+    let mut cand_len = 0usize;
+    let mut ref_len = 0usize;
+    for (cand, refs) in pairs {
+        let cand: Vec<&str> = cand.split_whitespace().collect();
+        let refs: Vec<Vec<&str>> = refs.iter().map(|r| r.split_whitespace().collect()).collect();
+        cand_len += cand.len();
+        ref_len += closest_ref_len(cand.len(), &refs);
+        for n in 1..=max_n {
+            let (m, t) = clipped_matches(&cand, &refs, n);
+            matched[n - 1] += m;
+            total[n - 1] += t;
+        }
+    }
+    combine(&matched, &total, cand_len, ref_len)
+}
+
+/// Token-level sentence BLEU.
+pub fn bleu_tokens(cand: &[&str], refs: &[Vec<&str>], max_n: usize) -> f64 {
+    assert!(max_n >= 1, "max_n must be >= 1");
+    if cand.is_empty() || refs.is_empty() {
+        return 0.0;
+    }
+    let mut matched = vec![0usize; max_n];
+    let mut total = vec![0usize; max_n];
+    for n in 1..=max_n {
+        let (m, t) = clipped_matches(cand, refs, n);
+        matched[n - 1] = m;
+        total[n - 1] = t;
+    }
+    combine(&matched, &total, cand.len(), closest_ref_len(cand.len(), refs))
+}
+
+/// Geometric mean of smoothed precisions × brevity penalty.
+fn combine(matched: &[usize], total: &[usize], cand_len: usize, ref_len: usize) -> f64 {
+    if cand_len == 0 {
+        return 0.0;
+    }
+    let mut log_sum = 0.0f64;
+    let mut orders = 0usize;
+    for (m, t) in matched.iter().zip(total) {
+        if *t == 0 {
+            // candidate shorter than this order — skip (NLTK convention)
+            continue;
+        }
+        orders += 1;
+        // Chen–Cherry smoothing 1: epsilon on zero matches.
+        let p = if *m == 0 {
+            0.1 / *t as f64
+        } else {
+            *m as f64 / *t as f64
+        };
+        log_sum += p.ln();
+    }
+    if orders == 0 {
+        return 0.0;
+    }
+    let geo = (log_sum / orders as f64).exp();
+    let bp = if cand_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    };
+    (geo * bp).clamp(0.0, 1.0)
+}
+
+/// Reference length closest to the candidate length (ties → shorter).
+fn closest_ref_len(cand_len: usize, refs: &[Vec<&str>]) -> usize {
+    refs.iter()
+        .map(|r| r.len())
+        .min_by_key(|&l| {
+            let diff = l.abs_diff(cand_len);
+            (diff, l)
+        })
+        .unwrap_or(0)
+}
+
+/// Clipped n-gram matches: `(matched, total)` for order `n`.
+fn clipped_matches(cand: &[&str], refs: &[Vec<&str>], n: usize) -> (usize, usize) {
+    if cand.len() < n {
+        return (0, 0);
+    }
+    let cand_counts = ngram_counts(cand, n);
+    // max reference count per n-gram across references
+    let mut ref_max: HashMap<&[&str], usize> = HashMap::new();
+    for r in refs {
+        if r.len() < n {
+            continue;
+        }
+        for (gram, c) in ngram_counts(r, n) {
+            let e = ref_max.entry(gram).or_insert(0);
+            *e = (*e).max(c);
+        }
+    }
+    let total: usize = cand.len() - n + 1;
+    let matched: usize = cand_counts
+        .iter()
+        .map(|(gram, &c)| c.min(ref_max.get(gram).copied().unwrap_or(0)))
+        .sum();
+    (matched, total)
+}
+
+/// Count n-grams (as token-slice keys) in a token sequence.
+fn ngram_counts<'a>(tokens: &'a [&'a str], n: usize) -> HashMap<&'a [&'a str], usize> {
+    let mut counts = HashMap::new();
+    for w in tokens.windows(n) {
+        *counts.entry(w).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_text_scores_one() {
+        let s = "preheat the oven to 350 degrees and bake for 30 minutes";
+        assert!((sentence_bleu(s, &[s]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_text_scores_near_zero() {
+        let score = sentence_bleu("aa bb cc dd ee", &["vv ww xx yy zz"]);
+        assert!(score < 0.05, "score {score}");
+    }
+
+    #[test]
+    fn partial_overlap_is_between() {
+        let cand = "mix the flour and sugar in a bowl";
+        let reference = "mix the flour and water in a pot";
+        let score = sentence_bleu(cand, &[reference]);
+        assert!(score > 0.2 && score < 0.9, "score {score}");
+    }
+
+    #[test]
+    fn clipping_penalizes_repetition() {
+        // "the the the ..." must not get credit for each repeated "the".
+        let score = sentence_bleu("the the the the the the the", &["the cat sat on the mat"]);
+        assert!(score < 0.2, "score {score}");
+    }
+
+    #[test]
+    fn brevity_penalty_applies() {
+        let reference = "mix the flour and water until a smooth dough forms";
+        let full = sentence_bleu(reference, &[reference]);
+        let brief = sentence_bleu("mix the flour", &[reference]);
+        assert!(brief < full);
+        assert!(brief < 0.7, "short candidate must be penalized: {brief}");
+    }
+
+    #[test]
+    fn multiple_references_take_best_overlap() {
+        let cand = "simmer the soup for twenty minutes";
+        let score_one = sentence_bleu(cand, &["boil the pasta until done"]);
+        let score_two = sentence_bleu(
+            cand,
+            &["boil the pasta until done", "simmer the soup for thirty minutes"],
+        );
+        assert!(score_two > score_one);
+    }
+
+    #[test]
+    fn bounded_zero_one() {
+        for (c, r) in [
+            ("a", "a"),
+            ("a b", "b a"),
+            ("", "a b c"),
+            ("x y z", ""),
+            ("a a a a", "a"),
+        ] {
+            let s = sentence_bleu(c, &[r]);
+            assert!((0.0..=1.0).contains(&s), "bleu({c:?},{r:?}) = {s}");
+        }
+    }
+
+    #[test]
+    fn corpus_bleu_identical_is_one() {
+        let pairs: Vec<(&str, Vec<&str>)> = vec![
+            ("mix the dough well", vec!["mix the dough well"]),
+            ("bake until golden brown", vec!["bake until golden brown"]),
+        ];
+        assert!((corpus_bleu(&pairs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corpus_bleu_pools_statistics() {
+        // One perfect and one disjoint sentence: corpus BLEU pools counts,
+        // so the result is not the mean of sentence scores.
+        let pairs: Vec<(&str, Vec<&str>)> = vec![
+            ("mix the dough well today", vec!["mix the dough well today"]),
+            ("qq ww ee rr tt", vec!["aa ss dd ff gg"]),
+        ];
+        let c = corpus_bleu(&pairs);
+        assert!(c > 0.0 && c < 1.0);
+        let mean = (1.0 + sentence_bleu("qq ww ee rr tt", &["aa ss dd ff gg"])) / 2.0;
+        assert!((c - mean).abs() > 0.01, "corpus {c} vs mean {mean}");
+    }
+
+    #[test]
+    fn short_candidates_dont_collapse_to_zero() {
+        // 3-token candidate has no 4-grams; smoothing/skipping must keep
+        // the score positive when unigrams match.
+        let s = sentence_bleu("mix the flour", &["mix the flour thoroughly now"]);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_zero() {
+        assert_eq!(corpus_bleu(&[]), 0.0);
+    }
+
+    #[test]
+    fn bleu1_equals_unigram_precision_when_long() {
+        let cand = "a b c d";
+        let refs = ["a b x y"];
+        let s = corpus_bleu_n(&[(cand, refs.to_vec())], 1);
+        // 2 of 4 unigrams match, lengths equal → bp = 1
+        assert!((s - 0.5).abs() < 1e-9, "{s}");
+    }
+}

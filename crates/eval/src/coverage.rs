@@ -1,0 +1,125 @@
+//! Ingredient-coverage metrics: does the generated recipe actually *use*
+//! what the user asked for? (The paper's related-work critique: earlier
+//! models "lacked context and dismissed the inputs from the user".)
+
+/// Coverage of requested ingredients in a generated recipe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageReport {
+    /// Fraction of requested ingredients that appear in the generated
+    /// ingredient list.
+    pub in_ingredient_list: f64,
+    /// Fraction of requested ingredients mentioned anywhere in the
+    /// instructions.
+    pub in_instructions: f64,
+    /// Fraction of generated ingredient lines that were *not* requested
+    /// (the model's additions — not wrong, but reported).
+    pub extraneous: f64,
+}
+
+/// Compute coverage of `requested` ingredients against a generation's
+/// ingredient lines and instruction steps. Matching is
+/// case-insensitive substring (so "2 cups flour" covers "flour").
+pub fn ingredient_coverage(
+    requested: &[String],
+    ingredient_lines: &[String],
+    instructions: &[String],
+) -> CoverageReport {
+    if requested.is_empty() {
+        return CoverageReport {
+            in_ingredient_list: 1.0,
+            in_instructions: 1.0,
+            extraneous: 0.0,
+        };
+    }
+    let lines_lc: Vec<String> = ingredient_lines.iter().map(|s| s.to_lowercase()).collect();
+    let steps_lc: Vec<String> = instructions.iter().map(|s| s.to_lowercase()).collect();
+    let mut in_list = 0usize;
+    let mut in_steps = 0usize;
+    for want in requested {
+        let w = want.to_lowercase();
+        if lines_lc.iter().any(|l| l.contains(&w)) {
+            in_list += 1;
+        }
+        if steps_lc.iter().any(|s| s.contains(&w)) {
+            in_steps += 1;
+        }
+    }
+    let extraneous = if ingredient_lines.is_empty() {
+        0.0
+    } else {
+        let requested_lc: Vec<String> = requested.iter().map(|s| s.to_lowercase()).collect();
+        let unrequested = lines_lc
+            .iter()
+            .filter(|l| !requested_lc.iter().any(|w| l.contains(w.as_str())))
+            .count();
+        unrequested as f64 / ingredient_lines.len() as f64
+    };
+    CoverageReport {
+        in_ingredient_list: in_list as f64 / requested.len() as f64,
+        in_instructions: in_steps as f64 / requested.len() as f64,
+        extraneous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn full_coverage() {
+        let r = ingredient_coverage(
+            &s(&["flour", "water"]),
+            &s(&["2 cups flour", "1 cup water"]),
+            &s(&["mix the flour and water"]),
+        );
+        assert_eq!(r.in_ingredient_list, 1.0);
+        assert_eq!(r.in_instructions, 1.0);
+        assert_eq!(r.extraneous, 0.0);
+    }
+
+    #[test]
+    fn partial_coverage_and_extras() {
+        let r = ingredient_coverage(
+            &s(&["flour", "saffron"]),
+            &s(&["2 cups flour", "1 teaspoon salt"]),
+            &s(&["mix the flour"]),
+        );
+        assert_eq!(r.in_ingredient_list, 0.5);
+        assert_eq!(r.in_instructions, 0.5);
+        assert_eq!(r.extraneous, 0.5); // salt was not requested
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let r = ingredient_coverage(
+            &s(&["Soy Sauce"]),
+            &s(&["3 tablespoons soy sauce"]),
+            &s(&[]),
+        );
+        assert_eq!(r.in_ingredient_list, 1.0);
+    }
+
+    #[test]
+    fn empty_request_is_trivially_covered() {
+        let r = ingredient_coverage(&[], &s(&["1 cup x"]), &[]);
+        assert_eq!(r.in_ingredient_list, 1.0);
+        assert_eq!(r.extraneous, 0.0);
+    }
+
+    #[test]
+    fn ignored_inputs_detected() {
+        // the failure mode the paper complains about: model ignores input
+        let r = ingredient_coverage(
+            &s(&["lentils", "cumin"]),
+            &s(&["1 cup chocolate"]),
+            &s(&["bake the cake"]),
+        );
+        assert_eq!(r.in_ingredient_list, 0.0);
+        assert_eq!(r.in_instructions, 0.0);
+        assert_eq!(r.extraneous, 1.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Novelty metrics: is a "novel recipe" actually novel, or a training-set
+//! regurgitation? The paper's goal is *novel* recipe generation, so our
+//! harness reports these alongside BLEU.
+
+use std::collections::HashSet;
+
+/// Fraction of the generation's n-grams that never appear in the training
+/// corpus. 0 = pure copy, 1 = entirely novel phrasing.
+pub fn novel_ngram_fraction<S: AsRef<str>>(generated: &str, corpus: &[S], n: usize) -> f64 {
+    assert!(n >= 1);
+    let mut corpus_grams: HashSet<Vec<&str>> = HashSet::new();
+    for doc in corpus {
+        let toks: Vec<&str> = doc.as_ref().split_whitespace().collect();
+        for w in toks.windows(n) {
+            corpus_grams.insert(w.to_vec());
+        }
+    }
+    let toks: Vec<&str> = generated.split_whitespace().collect();
+    if toks.len() < n {
+        return 0.0;
+    }
+    let total = toks.len() - n + 1;
+    let novel = toks
+        .windows(n)
+        .filter(|w| !corpus_grams.contains(&w.to_vec()))
+        .count();
+    novel as f64 / total as f64
+}
+
+/// True if the generation exactly matches (modulo whitespace) any corpus
+/// document — the plagiarism check.
+pub fn is_verbatim_copy<S: AsRef<str>>(generated: &str, corpus: &[S]) -> bool {
+    let norm = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ");
+    let g = norm(generated);
+    corpus.iter().any(|d| norm(d.as_ref()) == g)
+}
+
+/// Longest contiguous token overlap between the generation and any corpus
+/// document, as a fraction of the generation's length. High values flag
+/// near-copies that `is_verbatim_copy` misses.
+pub fn longest_copied_span_fraction<S: AsRef<str>>(generated: &str, corpus: &[S]) -> f64 {
+    let g: Vec<&str> = generated.split_whitespace().collect();
+    if g.is_empty() {
+        return 0.0;
+    }
+    let mut best = 0usize;
+    for doc in corpus {
+        let d: Vec<&str> = doc.as_ref().split_whitespace().collect();
+        best = best.max(longest_common_substring(&g, &d));
+        if best == g.len() {
+            break;
+        }
+    }
+    best as f64 / g.len() as f64
+}
+
+/// Longest common contiguous subsequence length (token-level), O(|a|·|b|)
+/// with a rolling row.
+fn longest_common_substring(a: &[&str], b: &[&str]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut best = 0usize;
+    for &ta in a {
+        let mut cur = vec![0usize; b.len() + 1];
+        for (j, &tb) in b.iter().enumerate() {
+            if ta == tb {
+                cur[j + 1] = prev[j] + 1;
+                best = best.max(cur[j + 1]);
+            }
+        }
+        prev = cur;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &[&str] = &[
+        "mix the flour and water until smooth",
+        "bake the bread until golden brown",
+    ];
+
+    #[test]
+    fn copy_has_zero_novelty() {
+        let f = novel_ngram_fraction(CORPUS[0], CORPUS, 2);
+        assert_eq!(f, 0.0);
+        assert!(is_verbatim_copy(CORPUS[0], CORPUS));
+    }
+
+    #[test]
+    fn fresh_text_is_fully_novel() {
+        let f = novel_ngram_fraction("zz yy xx ww vv", CORPUS, 2);
+        assert_eq!(f, 1.0);
+        assert!(!is_verbatim_copy("zz yy xx", CORPUS));
+    }
+
+    #[test]
+    fn recombination_is_partially_novel() {
+        // reuses corpus bigrams but in a new combination
+        let f = novel_ngram_fraction("mix the flour and bake", CORPUS, 2);
+        assert!(f > 0.0 && f < 1.0, "{f}");
+    }
+
+    #[test]
+    fn copied_span_detection() {
+        let gen = "first mix the flour and water until smooth then rest";
+        let frac = longest_copied_span_fraction(gen, CORPUS);
+        // 7 of 10 tokens are a contiguous corpus span
+        assert!((frac - 0.7).abs() < 1e-9, "{frac}");
+    }
+
+    #[test]
+    fn whitespace_insensitive_copy_check() {
+        assert!(is_verbatim_copy(
+            "  mix   the flour and water until smooth ",
+            CORPUS
+        ));
+    }
+
+    #[test]
+    fn lcs_reference() {
+        assert_eq!(longest_common_substring(&["a", "b", "c"], &["x", "a", "b", "y"]), 2);
+        assert_eq!(longest_common_substring(&[], &["a"]), 0);
+        assert_eq!(longest_common_substring(&["q"], &["a"]), 0);
+    }
+
+    #[test]
+    fn short_generation_edge_cases() {
+        assert_eq!(novel_ngram_fraction("one", CORPUS, 2), 0.0);
+        assert_eq!(longest_copied_span_fraction("", CORPUS), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! ROUGE-L: longest-common-subsequence recall/precision/F — the standard
+//! companion to BLEU for generation tasks (RecipeGPT reports it), used by
+//! the extended evaluation harness.
+
+/// ROUGE-L scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RougeL {
+    /// LCS length / reference length.
+    pub recall: f64,
+    /// LCS length / candidate length.
+    pub precision: f64,
+    /// Harmonic mean (β = 1).
+    pub f1: f64,
+}
+
+/// ROUGE-L of whitespace-tokenized candidate vs reference.
+pub fn rouge_l(candidate: &str, reference: &str) -> RougeL {
+    let c: Vec<&str> = candidate.split_whitespace().collect();
+    let r: Vec<&str> = reference.split_whitespace().collect();
+    if c.is_empty() || r.is_empty() {
+        return RougeL {
+            recall: 0.0,
+            precision: 0.0,
+            f1: 0.0,
+        };
+    }
+    let lcs = lcs_len(&c, &r) as f64;
+    let recall = lcs / r.len() as f64;
+    let precision = lcs / c.len() as f64;
+    let f1 = if recall + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    };
+    RougeL {
+        recall,
+        precision,
+        f1,
+    }
+}
+
+/// Mean ROUGE-L F1 over candidate/reference pairs.
+pub fn corpus_rouge_l(pairs: &[(&str, &str)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|(c, r)| rouge_l(c, r).f1).sum::<f64>() / pairs.len() as f64
+}
+
+/// Longest common subsequence length (classic DP with a rolling row).
+fn lcs_len(a: &[&str], b: &[&str]) -> usize {
+    let mut prev = vec![0usize; b.len() + 1];
+    for &ta in a {
+        let mut cur = vec![0usize; b.len() + 1];
+        for (j, &tb) in b.iter().enumerate() {
+            cur[j + 1] = if ta == tb {
+                prev[j] + 1
+            } else {
+                cur[j].max(prev[j + 1])
+            };
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_one() {
+        let s = "mix the flour and water";
+        let r = rouge_l(s, s);
+        assert!((r.f1 - 1.0).abs() < 1e-9);
+        assert!((r.recall - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        let r = rouge_l("aa bb cc", "xx yy zz");
+        assert_eq!(r.f1, 0.0);
+    }
+
+    #[test]
+    fn subsequence_not_substring() {
+        // LCS tolerates gaps: "mix flour" vs "mix the flour" share the
+        // subsequence [mix, flour] (length 2).
+        let r = rouge_l("mix flour", "mix the flour");
+        assert!((r.precision - 1.0).abs() < 1e-9);
+        assert!((r.recall - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lcs_reference_values() {
+        assert_eq!(lcs_len(&["a", "b", "c", "d"], &["b", "d"]), 2);
+        assert_eq!(lcs_len(&["a"], &[]), 0);
+        assert_eq!(lcs_len(&["x", "a", "y", "b"], &["a", "b"]), 2);
+    }
+
+    #[test]
+    fn corpus_mean() {
+        let s1 = "a b c";
+        let pairs = vec![(s1, s1), ("q q q", "z z z")];
+        let m = corpus_rouge_l(&pairs);
+        assert!((m - 0.5).abs() < 1e-9);
+        assert_eq!(corpus_rouge_l(&[]), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(rouge_l("", "a b").f1, 0.0);
+        assert_eq!(rouge_l("a b", "").f1, 0.0);
+    }
+}

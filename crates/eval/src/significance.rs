@@ -1,0 +1,170 @@
+//! Statistical confidence for reproduction claims: paired bootstrap
+//! resampling over evaluation pairs (Koehn, 2004) — the standard way to
+//! decide whether "model A's BLEU > model B's BLEU" is signal or noise at
+//! the Table-I sample sizes.
+
+use crate::bleu::corpus_bleu;
+
+/// A deterministic xorshift RNG (no `rand` dependency in this crate; the
+/// generator quality needed for bootstrap index sampling is modest).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full set.
+    pub point: f64,
+    /// Lower bound (percentile).
+    pub lo: f64,
+    /// Upper bound (percentile).
+    pub hi: f64,
+}
+
+/// Bootstrap a 95% CI for corpus BLEU over candidate/reference pairs.
+pub fn bleu_confidence(
+    pairs: &[(&str, Vec<&str>)],
+    resamples: usize,
+    seed: u64,
+) -> ConfidenceInterval {
+    let point = corpus_bleu(pairs);
+    if pairs.len() < 2 || resamples == 0 {
+        return ConfidenceInterval {
+            point,
+            lo: point,
+            hi: point,
+        };
+    }
+    let mut rng = XorShift(seed | 1);
+    let mut scores: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let sample: Vec<(&str, Vec<&str>)> = (0..pairs.len())
+                .map(|_| {
+                    let (c, r) = &pairs[rng.below(pairs.len())];
+                    (*c, r.clone())
+                })
+                .collect();
+            corpus_bleu(&sample)
+        })
+        .collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = scores[(resamples as f64 * 0.025) as usize];
+    let hi = scores[((resamples as f64 * 0.975) as usize).min(resamples - 1)];
+    ConfidenceInterval { point, lo, hi }
+}
+
+/// Paired bootstrap test: fraction of resamples where system A's corpus
+/// BLEU beats system B's on the *same* resampled evaluation subset.
+/// Values near 1.0 mean A's advantage is robust (p ≈ 1 − returned value).
+pub fn paired_bootstrap_win_rate(
+    a_pairs: &[(&str, Vec<&str>)],
+    b_pairs: &[(&str, Vec<&str>)],
+    resamples: usize,
+    seed: u64,
+) -> f64 {
+    assert_eq!(
+        a_pairs.len(),
+        b_pairs.len(),
+        "paired test needs aligned evaluation sets"
+    );
+    if a_pairs.is_empty() || resamples == 0 {
+        return 0.5;
+    }
+    let mut rng = XorShift(seed | 1);
+    let mut wins = 0usize;
+    for _ in 0..resamples {
+        let idx: Vec<usize> = (0..a_pairs.len()).map(|_| rng.below(a_pairs.len())).collect();
+        let sample = |pairs: &[(&str, Vec<&str>)]| -> f64 {
+            let s: Vec<(&str, Vec<&str>)> =
+                idx.iter().map(|&i| (pairs[i].0, pairs[i].1.clone())).collect();
+            corpus_bleu(&s)
+        };
+        if sample(a_pairs) > sample(b_pairs) {
+            wins += 1;
+        }
+    }
+    wins as f64 / resamples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs_of(texts: &[(&'static str, &'static str)]) -> Vec<(&'static str, Vec<&'static str>)> {
+        texts.iter().map(|&(c, r)| (c, vec![r])).collect()
+    }
+
+    #[test]
+    fn ci_contains_point_estimate() {
+        let pairs = pairs_of(&[
+            ("mix the dough well", "mix the dough well"),
+            ("bake until golden", "bake until brown"),
+            ("chill and serve cold", "chill and serve"),
+            ("boil the pasta now", "boil the rice now"),
+        ]);
+        let ci = bleu_confidence(&pairs, 200, 7);
+        assert!(ci.lo <= ci.point + 1e-9, "{ci:?}");
+        assert!(ci.hi >= ci.point - 1e-9, "{ci:?}");
+        assert!(ci.lo < ci.hi, "degenerate CI {ci:?}");
+    }
+
+    #[test]
+    fn identical_systems_split_evenly() {
+        let pairs = pairs_of(&[
+            ("a b c d", "a b x d"),
+            ("e f g h", "e f g z"),
+            ("i j k l", "i q k l"),
+        ]);
+        let rate = paired_bootstrap_win_rate(&pairs, &pairs, 200, 3);
+        // ties are not wins, so identical systems give exactly 0.0 wins
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn clearly_better_system_wins_almost_always() {
+        let good = pairs_of(&[
+            ("mix the dough well today", "mix the dough well today"),
+            ("bake until golden brown ok", "bake until golden brown ok"),
+            ("serve with fresh basil now", "serve with fresh basil now"),
+            ("boil the pasta until done", "boil the pasta until done"),
+        ]);
+        let bad = pairs_of(&[
+            ("qq ww ee rr tt", "mix the dough well today"),
+            ("yy uu ii oo pp", "bake until golden brown ok"),
+            ("aa ss dd ff gg", "serve with fresh basil now"),
+            ("zz xx cc vv bb", "boil the pasta until done"),
+        ]);
+        let rate = paired_bootstrap_win_rate(&good, &bad, 300, 11);
+        assert!(rate > 0.99, "win rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pairs = pairs_of(&[("a b c", "a b d"), ("e f g", "e f g")]);
+        let a = bleu_confidence(&pairs, 100, 42);
+        let b = bleu_confidence(&pairs, 100, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let one = pairs_of(&[("a b", "a b")]);
+        let ci = bleu_confidence(&one, 100, 1);
+        assert_eq!(ci.lo, ci.point);
+        assert_eq!(paired_bootstrap_win_rate(&[], &[], 10, 1), 0.5);
+    }
+}

@@ -1,0 +1,223 @@
+//! Structural validation of generated tagged recipes.
+//!
+//! The paper's critique of RecipeGPT/RecipeNLG is that their generations
+//! are "not well structured"; this validator makes structure a measurable
+//! property: tags present, ordered and balanced, every section non-empty,
+//! and ingredient lines carrying a parsable quantity + unit (the paper's
+//! headline feature).
+
+use ratatouille_tokenizers::special::*;
+
+/// Outcome of validating one tagged recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureReport {
+    /// No errors at all.
+    pub valid: bool,
+    /// Human-readable error descriptions, in detection order.
+    pub errors: Vec<String>,
+    /// Parsed title (when recoverable).
+    pub title: Option<String>,
+    /// Parsed ingredient-line texts (when recoverable).
+    pub ingredients: Vec<String>,
+    /// Parsed instruction steps (when recoverable).
+    pub instructions: Vec<String>,
+    /// How many ingredient lines begin with a quantity token.
+    pub quantified_ingredients: usize,
+}
+
+impl StructureReport {
+    /// Fraction of ingredient lines that carry a quantity (1.0 when all).
+    pub fn quantity_coverage(&self) -> f64 {
+        if self.ingredients.is_empty() {
+            return 0.0;
+        }
+        self.quantified_ingredients as f64 / self.ingredients.len() as f64
+    }
+}
+
+/// Validate a tagged recipe string (the Fig. 2 / Fig. 5 format).
+pub fn validate_tagged_recipe(text: &str) -> StructureReport {
+    let mut errors = Vec::new();
+
+    // Tag presence and global order.
+    let order = [
+        RECIPE_START,
+        TITLE_START,
+        TITLE_END,
+        INGR_START,
+        INGR_END,
+        INSTR_START,
+        INSTR_END,
+        RECIPE_END,
+    ];
+    let mut last_pos = 0usize;
+    for tag in order {
+        match text.find(tag) {
+            Some(pos) => {
+                if pos < last_pos {
+                    errors.push(format!("tag {tag} out of order"));
+                }
+                last_pos = pos;
+            }
+            None => errors.push(format!("missing tag {tag}")),
+        }
+    }
+
+    let title = section(text, TITLE_START, TITLE_END).map(|s| s.trim().to_string());
+    match &title {
+        Some(t) if t.is_empty() => errors.push("empty title".to_string()),
+        None => {}
+        _ => {}
+    }
+
+    let ingredients: Vec<String> = section(text, INGR_START, INGR_END)
+        .map(|s| {
+            s.split(NEXT_INGR)
+                .map(|x| decode_fractions(x).trim().to_string())
+                .filter(|x| !x.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    if ingredients.is_empty() {
+        errors.push("no ingredients".to_string());
+    }
+
+    let instructions: Vec<String> = section(text, INSTR_START, INSTR_END)
+        .map(|s| {
+            s.split(NEXT_INSTR)
+                .map(|x| x.trim().to_string())
+                .filter(|x| !x.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    if instructions.is_empty() {
+        errors.push("no instructions".to_string());
+    }
+
+    // Quantity + unit check on each ingredient line.
+    let mut quantified = 0usize;
+    for line in &ingredients {
+        if line_has_quantity(line) {
+            quantified += 1;
+        } else {
+            errors.push(format!("ingredient line without quantity: `{line}`"));
+        }
+    }
+
+    StructureReport {
+        valid: errors.is_empty(),
+        errors,
+        title,
+        ingredients,
+        instructions,
+        quantified_ingredients: quantified,
+    }
+}
+
+/// Text between two tags, if both are present in order.
+fn section<'a>(text: &'a str, start: &str, end: &str) -> Option<&'a str> {
+    let s = text.find(start)? + start.len();
+    let e = text[s..].find(end)? + s;
+    Some(&text[s..e])
+}
+
+/// Does an ingredient line start with a number or fraction?
+fn line_has_quantity(line: &str) -> bool {
+    let first = match line.split_whitespace().next() {
+        Some(f) => f,
+        None => return false,
+    };
+    if first.chars().all(|c| c.is_ascii_digit()) && !first.is_empty() {
+        return true;
+    }
+    if let Some((a, b)) = first.split_once('/') {
+        return !a.is_empty()
+            && !b.is_empty()
+            && a.chars().all(|c| c.is_ascii_digit())
+            && b.chars().all(|c| c.is_ascii_digit());
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good() -> String {
+        format!(
+            "{RECIPE_START}{INPUT_START} flour {NEXT_INPUT} water {INPUT_END}\
+             {TITLE_START} simple bread {TITLE_END}\
+             {INGR_START} 2 cups flour {NEXT_INGR} <FRAC_1_2> cup water {INGR_END}\
+             {INSTR_START} mix well {NEXT_INSTR} bake until done {INSTR_END}{RECIPE_END}"
+        )
+    }
+
+    #[test]
+    fn valid_recipe_passes() {
+        let r = validate_tagged_recipe(&good());
+        assert!(r.valid, "{:?}", r.errors);
+        assert_eq!(r.title.as_deref(), Some("simple bread"));
+        assert_eq!(r.ingredients.len(), 2);
+        assert_eq!(r.instructions.len(), 2);
+        assert_eq!(r.quantity_coverage(), 1.0);
+    }
+
+    #[test]
+    fn fraction_tokens_count_as_quantities() {
+        let r = validate_tagged_recipe(&good());
+        assert_eq!(r.quantified_ingredients, 2);
+        assert!(r.ingredients[1].starts_with("1/2"));
+    }
+
+    #[test]
+    fn missing_tags_detected() {
+        let text = good().replace(INSTR_END, "");
+        let r = validate_tagged_recipe(&text);
+        assert!(!r.valid);
+        assert!(r.errors.iter().any(|e| e.contains(INSTR_END)));
+    }
+
+    #[test]
+    fn out_of_order_tags_detected() {
+        let text = format!(
+            "{RECIPE_START}{INGR_START} 1 cup x {INGR_END}{TITLE_START} t {TITLE_END}\
+             {INSTR_START} s {INSTR_END}{RECIPE_END}"
+        );
+        let r = validate_tagged_recipe(&text);
+        assert!(!r.valid);
+        assert!(r.errors.iter().any(|e| e.contains("out of order")), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn empty_sections_detected() {
+        let text = good().replace(" mix well ", " ").replace(" bake until done ", " ");
+        let r = validate_tagged_recipe(&text);
+        assert!(!r.valid);
+        assert!(r.errors.iter().any(|e| e == "no instructions"));
+    }
+
+    #[test]
+    fn unquantified_ingredient_detected() {
+        let text = good().replace(" 2 cups flour ", " some flour ");
+        let r = validate_tagged_recipe(&text);
+        assert!(!r.valid);
+        assert!(r.errors.iter().any(|e| e.contains("without quantity")));
+        assert!(r.quantity_coverage() < 1.0);
+    }
+
+    #[test]
+    fn garbage_reports_many_errors_without_panicking() {
+        let r = validate_tagged_recipe("complete nonsense");
+        assert!(!r.valid);
+        assert!(r.errors.len() >= 8);
+    }
+
+    #[test]
+    fn quantity_detector() {
+        assert!(line_has_quantity("2 cups flour"));
+        assert!(line_has_quantity("1/2 cup water"));
+        assert!(!line_has_quantity("flour"));
+        assert!(!line_has_quantity(""));
+        assert!(!line_has_quantity("a/2 cup"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests on metric invariants.
+
+use proptest::prelude::*;
+use ratatouille_eval::bleu::{corpus_bleu, sentence_bleu};
+use ratatouille_eval::coverage::ingredient_coverage;
+use ratatouille_eval::diversity::{distinct_n, self_bleu};
+use ratatouille_eval::novelty::{longest_copied_span_fraction, novel_ngram_fraction};
+use ratatouille_eval::perplexity::perplexity_from_nll;
+use ratatouille_eval::rouge::rouge_l;
+
+fn words() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-f]{1,4}", 1..20).prop_map(|v| v.join(" "))
+}
+
+proptest! {
+    /// BLEU is bounded, reflexive-maximal, and zero only without overlap.
+    #[test]
+    fn bleu_bounds(c in words(), r in words()) {
+        let s = sentence_bleu(&c, &[&r]);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((sentence_bleu(&c, &[&c]) - 1.0).abs() < 1e-9);
+        // adding the candidate itself as an extra reference can only help
+        let s2 = sentence_bleu(&c, &[&r, &c]);
+        prop_assert!(s2 + 1e-9 >= s);
+    }
+
+    /// Corpus BLEU of identical pairs is 1 regardless of content.
+    #[test]
+    fn corpus_bleu_reflexive(texts in proptest::collection::vec(words(), 1..6)) {
+        let pairs: Vec<(&str, Vec<&str>)> =
+            texts.iter().map(|t| (t.as_str(), vec![t.as_str()])).collect();
+        prop_assert!((corpus_bleu(&pairs) - 1.0).abs() < 1e-9);
+    }
+
+    /// ROUGE-L F1 is bounded and symmetric in precision/recall swap.
+    #[test]
+    fn rouge_bounds(c in words(), r in words()) {
+        let a = rouge_l(&c, &r);
+        prop_assert!((0.0..=1.0).contains(&a.f1));
+        let b = rouge_l(&r, &c);
+        prop_assert!((a.recall - b.precision).abs() < 1e-9);
+        prop_assert!((a.f1 - b.f1).abs() < 1e-9);
+    }
+
+    /// distinct-n is bounded and 1.0 when every n-gram is unique.
+    #[test]
+    fn distinct_bounds(texts in proptest::collection::vec(words(), 1..5), n in 1usize..3) {
+        let d = distinct_n(&texts, n);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    /// self-BLEU of identical copies is ~1.
+    #[test]
+    fn self_bleu_of_copies(t in words(), k in 2usize..5) {
+        let copies = vec![t.clone(); k];
+        prop_assert!(self_bleu(&copies) > 0.99);
+    }
+
+    /// Novelty and copied-span are complementary extremes on copies.
+    #[test]
+    fn novelty_extremes(t in words()) {
+        let corpus = vec![t.clone()];
+        prop_assert_eq!(novel_ngram_fraction(&t, &corpus, 1), 0.0);
+        prop_assert_eq!(longest_copied_span_fraction(&t, &corpus), 1.0);
+    }
+
+    /// Perplexity is monotone in NLL and ≥ 1 for non-negative NLLs.
+    #[test]
+    fn perplexity_monotone(nll in 0.0f32..8.0, extra in 0.01f32..2.0) {
+        let lo = perplexity_from_nll(&[nll; 4]);
+        let hi = perplexity_from_nll(&[nll + extra; 4]);
+        prop_assert!(hi > lo);
+        prop_assert!(lo >= 1.0 - 1e-6);
+    }
+
+    /// Coverage fractions are bounded and total coverage implies no
+    /// uncovered request.
+    #[test]
+    fn coverage_bounds(req in proptest::collection::vec("[a-d]{1,3}", 0..4)) {
+        let lines: Vec<String> = req.iter().map(|r| format!("1 cup {r}")).collect();
+        let cov = ingredient_coverage(&req, &lines, &[]);
+        prop_assert!((cov.in_ingredient_list - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&cov.extraneous));
+    }
+}

@@ -1,0 +1,145 @@
+//! The common language-model interface.
+
+use rand::rngs::StdRng;
+use ratatouille_tensor::{Tensor, Var};
+
+/// A training batch: `inputs[b][t]` predicts `targets[b][t]`. All rows are
+/// padded to equal length with the pad id; padded target positions carry
+/// `pad_id` and are excluded from the loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Input token ids, `[B][T]`, rectangular.
+    pub inputs: Vec<Vec<u32>>,
+    /// Target token ids (inputs shifted by one), `[B][T]`, rectangular.
+    pub targets: Vec<Vec<u32>>,
+    /// The padding id (ignored in the loss).
+    pub pad_id: u32,
+}
+
+impl Batch {
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Sequence length (0 for an empty batch).
+    pub fn seq_len(&self) -> usize {
+        self.inputs.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of non-padding target tokens.
+    pub fn real_tokens(&self) -> usize {
+        self.targets
+            .iter()
+            .flatten()
+            .filter(|&&t| t != self.pad_id)
+            .count()
+    }
+
+    /// Flattened inputs as usize ids (embedding-lookup friendly).
+    pub fn flat_inputs(&self) -> Vec<usize> {
+        self.inputs.iter().flatten().map(|&t| t as usize).collect()
+    }
+
+    /// Flattened targets as usize ids.
+    pub fn flat_targets(&self) -> Vec<usize> {
+        self.targets.iter().flatten().map(|&t| t as usize).collect()
+    }
+
+    /// Validate rectangularity and target alignment.
+    ///
+    /// # Panics
+    /// Panics on ragged rows or mismatched input/target shapes.
+    pub fn assert_well_formed(&self) {
+        assert_eq!(self.inputs.len(), self.targets.len(), "batch rows mismatch");
+        let t = self.seq_len();
+        for (i, (inp, tgt)) in self.inputs.iter().zip(&self.targets).enumerate() {
+            assert_eq!(inp.len(), t, "ragged input row {i}");
+            assert_eq!(tgt.len(), t, "ragged target row {i}");
+        }
+    }
+}
+
+/// An autoregressive language model trainable with this crate's trainer
+/// and decodable with its sampler.
+pub trait LanguageModel {
+    /// Human-readable model name (Table I row label).
+    fn name(&self) -> &str;
+
+    /// Vocabulary size the output head covers.
+    fn vocab_size(&self) -> usize;
+
+    /// Maximum context length the model accepts.
+    fn max_context(&self) -> usize;
+
+    /// All trainable parameters, in a stable order.
+    fn parameters(&self) -> Vec<Var>;
+
+    /// `(name, parameter)` pairs, stable order — checkpoint keys.
+    fn named_parameters(&self) -> Vec<(String, Var)>;
+
+    /// Mean next-token cross-entropy over the batch (a scalar [`Var`]).
+    /// `train` enables dropout; `rng` drives dropout masks.
+    fn forward_loss(&self, batch: &Batch, train: bool, rng: &mut StdRng) -> Var;
+
+    /// Begin incremental decoding. Pushing a token returns the logits for
+    /// the *next* position.
+    fn start_stream(&self) -> Box<dyn TokenStream + '_>;
+
+    /// Total parameter count (model-size reporting).
+    fn num_params(&self) -> usize {
+        self.parameters().iter().map(|p| p.value().numel()).sum()
+    }
+}
+
+/// Incremental decoding state: recurrent state for LSTMs, a KV cache for
+/// transformers.
+pub trait TokenStream {
+    /// Feed one token; returns the next-token logits `[V]`.
+    fn push(&mut self, token: u32) -> Tensor;
+
+    /// Number of tokens consumed so far.
+    fn position(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_accounting() {
+        let b = Batch {
+            inputs: vec![vec![2, 5, 6], vec![2, 7, 0]],
+            targets: vec![vec![5, 6, 3], vec![7, 3, 0]],
+            pad_id: 0,
+        };
+        b.assert_well_formed();
+        assert_eq!(b.batch_size(), 2);
+        assert_eq!(b.seq_len(), 3);
+        assert_eq!(b.real_tokens(), 5);
+        assert_eq!(b.flat_inputs(), vec![2, 5, 6, 2, 7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_batch_detected() {
+        Batch {
+            inputs: vec![vec![1, 2], vec![1]],
+            targets: vec![vec![2, 3], vec![3]],
+            pad_id: 0,
+        }
+        .assert_well_formed();
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch {
+            inputs: vec![],
+            targets: vec![],
+            pad_id: 0,
+        };
+        b.assert_well_formed();
+        assert_eq!(b.seq_len(), 0);
+        assert_eq!(b.real_tokens(), 0);
+    }
+}

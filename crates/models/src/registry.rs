@@ -1,0 +1,190 @@
+//! The four Table-I model configurations, with their tokenizers and
+//! training budgets, behind one constructor.
+
+use ratatouille_tokenizers::{BpeTokenizer, CharTokenizer, Tokenizer, WordTokenizer};
+
+use crate::gpt2::{Gpt2Config, Gpt2Lm};
+use crate::lm::LanguageModel;
+use crate::lstm::{LstmConfig, LstmLm};
+use crate::train::TrainConfig;
+
+/// The four rows of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Character-level LSTM baseline.
+    CharLstm,
+    /// Word-level LSTM baseline.
+    WordLstm,
+    /// DistilGPT2 tier.
+    DistilGpt2,
+    /// GPT-2 medium tier.
+    Gpt2Medium,
+}
+
+/// Table I's rows, in the paper's order.
+pub const TABLE1_MODELS: &[ModelKind] = &[
+    ModelKind::CharLstm,
+    ModelKind::WordLstm,
+    ModelKind::DistilGpt2,
+    ModelKind::Gpt2Medium,
+];
+
+impl ModelKind {
+    /// Table I row label.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ModelKind::CharLstm => "Char-level LSTM",
+            ModelKind::WordLstm => "Word-level LSTM",
+            ModelKind::DistilGpt2 => "DistilGPT2",
+            ModelKind::Gpt2Medium => "GPT-2 medium",
+        }
+    }
+
+    /// The BLEU score the paper reports for this row (for EXPERIMENTS.md
+    /// shape comparison, not as a target to hit numerically).
+    pub fn paper_bleu(&self) -> f64 {
+        match self {
+            ModelKind::CharLstm => 0.347,
+            ModelKind::WordLstm => 0.412,
+            ModelKind::DistilGpt2 => 0.442,
+            ModelKind::Gpt2Medium => 0.806,
+        }
+    }
+}
+
+/// Instantiate just the model for a row, given the tokenizer's vocabulary
+/// size. Used both by [`ModelSpec::build`] and by serving workers that
+/// rebuild a replica from checkpointed weights.
+pub fn build_model(kind: ModelKind, vocab: usize) -> Box<dyn LanguageModel> {
+    match kind {
+        ModelKind::CharLstm => Box::new(LstmLm::new(LstmConfig::char_level(vocab))),
+        ModelKind::WordLstm => Box::new(LstmLm::new(LstmConfig::word_level(vocab))),
+        ModelKind::DistilGpt2 => Box::new(Gpt2Lm::new(Gpt2Config::distil(vocab))),
+        ModelKind::Gpt2Medium => Box::new(Gpt2Lm::new(Gpt2Config::medium(vocab))),
+    }
+}
+
+/// A model + its tokenizer + the block size it trains at.
+pub struct ModelSpec {
+    /// Which Table-I row this is.
+    pub kind: ModelKind,
+    /// The instantiated model.
+    pub model: Box<dyn LanguageModel>,
+    /// The tokenizer the model was built over.
+    pub tokenizer: Box<dyn Tokenizer>,
+    /// Training block size (sequence length).
+    pub block_size: usize,
+}
+
+impl ModelSpec {
+    /// Build a Table-I model over a training corpus (the tokenizer is
+    /// trained/fit on the corpus first, then the model sized to its
+    /// vocabulary).
+    pub fn build(kind: ModelKind, corpus: &[String]) -> ModelSpec {
+        let tokenizer: Box<dyn Tokenizer> = match kind {
+            ModelKind::CharLstm => Box::new(CharTokenizer::train(corpus)),
+            ModelKind::WordLstm => Box::new(WordTokenizer::train(corpus, 2)),
+            ModelKind::DistilGpt2 | ModelKind::Gpt2Medium => {
+                Box::new(BpeTokenizer::train(corpus, 384))
+            }
+        };
+        let model = build_model(kind, tokenizer.vocab_size());
+        let block_size = match kind {
+            ModelKind::CharLstm => 256,
+            ModelKind::WordLstm => 192,
+            // transformers train on whole-recipe-aligned blocks: the
+            // window must fit a full tagged recipe (~250 BPE tokens)
+            ModelKind::DistilGpt2 | ModelKind::Gpt2Medium => 256,
+        };
+        ModelSpec {
+            kind,
+            model,
+            tokenizer,
+            block_size,
+        }
+    }
+
+    /// The default training budget for this row, scaled so the whole
+    /// table regenerates on a laptop CPU. Budgets favor the transformer
+    /// tiers the way the paper's fine-tuning (pre-trained weights + A100
+    /// hours) favored GPT-2.
+    pub fn default_train_config(&self) -> TrainConfig {
+        match self.kind {
+            ModelKind::CharLstm => TrainConfig {
+                steps: 400,
+                batch_size: 8,
+                lr: 3e-3,
+                warmup: 30,
+                ..Default::default()
+            },
+            ModelKind::WordLstm => TrainConfig {
+                steps: 400,
+                batch_size: 8,
+                lr: 3e-3,
+                warmup: 30,
+                ..Default::default()
+            },
+            ModelKind::DistilGpt2 => TrainConfig {
+                steps: 500,
+                batch_size: 8,
+                lr: 2e-3,
+                warmup: 40,
+                ..Default::default()
+            },
+            ModelKind::Gpt2Medium => TrainConfig {
+                steps: 600,
+                batch_size: 8,
+                lr: 1.5e-3,
+                warmup: 60,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "<RECIPE_START><TITLE_START> bread <TITLE_END><INGR_START> 2 cups flour <INGR_END><INSTR_START> mix well <NEXT_INSTR> bake <INSTR_END><RECIPE_END>".to_string();
+            12
+        ]
+    }
+
+    #[test]
+    fn all_four_rows_build() {
+        for &kind in TABLE1_MODELS {
+            let spec = ModelSpec::build(kind, &corpus());
+            assert_eq!(spec.model.name(), kind.display_name());
+            assert!(spec.model.vocab_size() >= spec.tokenizer.vocab_size());
+            assert!(spec.block_size <= spec.model.max_context());
+            assert!(spec.model.num_params() > 0);
+        }
+    }
+
+    #[test]
+    fn paper_order_is_monotone() {
+        let scores: Vec<f64> = TABLE1_MODELS.iter().map(|k| k.paper_bleu()).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] < w[1], "Table I should be increasing");
+        }
+    }
+
+    #[test]
+    fn capacity_ordering_matches_paper() {
+        let c = corpus();
+        let distil = ModelSpec::build(ModelKind::DistilGpt2, &c);
+        let medium = ModelSpec::build(ModelKind::Gpt2Medium, &c);
+        assert!(medium.model.num_params() > distil.model.num_params());
+    }
+
+    #[test]
+    fn train_budgets_favor_transformers() {
+        let c = corpus();
+        let char_cfg = ModelSpec::build(ModelKind::CharLstm, &c).default_train_config();
+        let med_cfg = ModelSpec::build(ModelKind::Gpt2Medium, &c).default_train_config();
+        assert!(med_cfg.steps > char_cfg.steps);
+    }
+}

@@ -1,0 +1,269 @@
+//! Decoding strategies: greedy, temperature, top-k and top-p (nucleus)
+//! sampling over an incremental [`TokenStream`].
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use ratatouille_tensor::{ops, Tensor};
+
+use crate::lm::LanguageModel;
+
+/// Decoding configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerConfig {
+    /// Maximum tokens to generate (beyond the prompt).
+    pub max_tokens: usize,
+    /// Softmax temperature (1.0 = untouched; → 0 = argmax-like). Ignored
+    /// when `greedy`.
+    pub temperature: f32,
+    /// Keep only the k most likely tokens (0 disables).
+    pub top_k: usize,
+    /// Nucleus sampling mass (1.0 disables).
+    pub top_p: f32,
+    /// Stop when this token is generated (it is not included in the
+    /// output).
+    pub stop_token: Option<u32>,
+    /// Deterministic argmax decoding.
+    pub greedy: bool,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            max_tokens: 256,
+            temperature: 0.9,
+            top_k: 40,
+            top_p: 0.95,
+            stop_token: None,
+            greedy: false,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// Greedy decoding with a stop token.
+    pub fn greedy_until(stop: u32) -> Self {
+        SamplerConfig {
+            greedy: true,
+            stop_token: Some(stop),
+            ..Default::default()
+        }
+    }
+}
+
+/// Autoregressively generate a continuation of `prompt`. Returns only the
+/// generated tokens (without the prompt, without the stop token).
+pub fn generate(
+    model: &dyn LanguageModel,
+    prompt: &[u32],
+    cfg: &SamplerConfig,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    assert!(!prompt.is_empty(), "generate requires a non-empty prompt");
+    let mut stream = model.start_stream();
+    let mut logits: Option<Tensor> = None;
+    for &t in prompt {
+        logits = Some(stream.push(t));
+    }
+    let mut out = Vec::with_capacity(cfg.max_tokens);
+    for _ in 0..cfg.max_tokens {
+        let l = logits.take().expect("logits available after prompt");
+        let next = select_token(&l, cfg, rng);
+        if Some(next) == cfg.stop_token {
+            break;
+        }
+        out.push(next);
+        logits = Some(stream.push(next));
+    }
+    out
+}
+
+/// Pick the next token from raw logits according to the config.
+pub fn select_token(logits: &Tensor, cfg: &SamplerConfig, rng: &mut StdRng) -> u32 {
+    if cfg.greedy {
+        return ops::argmax_last(logits)[0] as u32;
+    }
+    let v = logits.numel();
+    let temp = cfg.temperature.max(1e-4);
+    let scaled: Vec<f32> = logits.data().iter().map(|&x| x / temp).collect();
+
+    // Sort candidate indices by logit, descending.
+    let mut idx: Vec<usize> = (0..v).collect();
+    idx.sort_by(|&a, &b| scaled[b].partial_cmp(&scaled[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    // top-k cutoff
+    let k = if cfg.top_k > 0 { cfg.top_k.min(v) } else { v };
+    let mut kept = &idx[..k];
+
+    // softmax over kept
+    let max = scaled[kept[0]];
+    let mut probs: Vec<f32> = kept.iter().map(|&i| (scaled[i] - max).exp()).collect();
+    let sum: f32 = probs.iter().sum();
+    for p in probs.iter_mut() {
+        *p /= sum;
+    }
+
+    // top-p cutoff on the sorted distribution
+    if cfg.top_p < 1.0 {
+        let mut cum = 0.0f32;
+        let mut cut = probs.len();
+        for (i, &p) in probs.iter().enumerate() {
+            cum += p;
+            if cum >= cfg.top_p {
+                cut = i + 1;
+                break;
+            }
+        }
+        kept = &kept[..cut];
+        probs.truncate(cut);
+        let s: f32 = probs.iter().sum();
+        for p in probs.iter_mut() {
+            *p /= s;
+        }
+    }
+
+    // multinomial draw
+    let mut x = rng.random::<f32>();
+    for (&i, &p) in kept.iter().zip(&probs) {
+        x -= p;
+        if x <= 0.0 {
+            return i as u32;
+        }
+    }
+    *kept.last().unwrap() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn logits(values: &[f32]) -> Tensor {
+        Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap()
+    }
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let cfg = SamplerConfig {
+            greedy: true,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = select_token(&logits(&[0.1, 5.0, 2.0]), &cfg, &mut rng);
+        assert_eq!(t, 1);
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        let cfg = SamplerConfig {
+            top_k: 2,
+            top_p: 1.0,
+            temperature: 1.0,
+            greedy: false,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        // indices 3 and 1 are the top-2
+        let l = logits(&[0.0, 4.0, 1.0, 6.0, 0.5]);
+        for _ in 0..200 {
+            let t = select_token(&l, &cfg, &mut rng);
+            assert!(t == 3 || t == 1, "sampled outside top-k: {t}");
+        }
+    }
+
+    #[test]
+    fn top_p_restricts_support() {
+        let cfg = SamplerConfig {
+            top_k: 0,
+            top_p: 0.5,
+            temperature: 1.0,
+            greedy: false,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        // one dominant token holds > 50% of the mass
+        let l = logits(&[10.0, 1.0, 1.0, 1.0]);
+        for _ in 0..100 {
+            assert_eq!(select_token(&l, &cfg, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let cfg = SamplerConfig {
+            top_k: 0,
+            top_p: 1.0,
+            temperature: 0.01,
+            greedy: false,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = logits(&[1.0, 1.5, 1.2]);
+        for _ in 0..100 {
+            assert_eq!(select_token(&l, &cfg, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn high_temperature_spreads_mass() {
+        let cfg = SamplerConfig {
+            top_k: 0,
+            top_p: 1.0,
+            temperature: 100.0,
+            greedy: false,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = logits(&[1.0, 3.0]);
+        let picks: Vec<u32> = (0..300).map(|_| select_token(&l, &cfg, &mut rng)).collect();
+        let zeros = picks.iter().filter(|&&t| t == 0).count();
+        // near-uniform: both sides sampled substantially
+        assert!(zeros > 90 && zeros < 210, "zeros={zeros}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SamplerConfig::default();
+        let l = logits(&[0.5, 0.7, 0.1, 0.9, 0.3]);
+        let a: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| select_token(&l, &cfg, &mut rng)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| select_token(&l, &cfg, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_respects_stop_and_budget() {
+        use crate::lstm::{LstmConfig, LstmLm};
+        let m = LstmLm::new(LstmConfig {
+            name: "t".into(),
+            vocab: 8,
+            d_embed: 4,
+            d_hidden: 8,
+            layers: 1,
+            max_t: 32,
+            dropout: 0.0,
+            seed: 1,
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SamplerConfig {
+            max_tokens: 10,
+            stop_token: None,
+            ..Default::default()
+        };
+        let out = generate(&m, &[2], &cfg, &mut rng);
+        assert_eq!(out.len(), 10);
+        // stop token halts early and is excluded
+        let cfg = SamplerConfig {
+            max_tokens: 50,
+            greedy: true,
+            stop_token: Some(ops::argmax_last(&m.start_stream().push(2))[0] as u32),
+            ..Default::default()
+        };
+        let out = generate(&m, &[2], &cfg, &mut rng);
+        assert!(out.is_empty(), "greedy first pick is the stop token");
+    }
+}

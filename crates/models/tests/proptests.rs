@@ -1,0 +1,89 @@
+//! Property tests on model-layer invariants: the sampler's support
+//! guarantees and the dataset's batch alignment, for arbitrary inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ratatouille_models::data::Dataset;
+use ratatouille_models::sample::{select_token, SamplerConfig};
+use ratatouille_tensor::Tensor;
+use ratatouille_tokenizers::{CharTokenizer, Tokenizer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// top-k sampling never selects outside the k most likely tokens.
+    #[test]
+    fn top_k_support(
+        logits in proptest::collection::vec(-5.0f32..5.0, 4..32),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let t = Tensor::from_vec(logits.clone(), &[logits.len()]).unwrap();
+        let cfg = SamplerConfig {
+            greedy: false,
+            temperature: 1.0,
+            top_k: k,
+            top_p: 1.0,
+            ..SamplerConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picked = select_token(&t, &cfg, &mut rng) as usize;
+        // picked logit must be >= the (k)th largest logit
+        let mut sorted = logits.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let kth = sorted[k.min(sorted.len()) - 1];
+        prop_assert!(logits[picked] >= kth - 1e-6);
+    }
+
+    /// Greedy always picks the argmax, independent of the rng.
+    #[test]
+    fn greedy_is_argmax(
+        logits in proptest::collection::vec(-5.0f32..5.0, 2..20),
+        seed in 0u64..100,
+    ) {
+        let t = Tensor::from_vec(logits.clone(), &[logits.len()]).unwrap();
+        let cfg = SamplerConfig { greedy: true, ..SamplerConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picked = select_token(&t, &cfg, &mut rng) as usize;
+        let best = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert!((logits[picked] - logits[best]).abs() < 1e-9);
+    }
+
+    /// Every dataset block keeps the shift-by-one target alignment,
+    /// whatever text went in.
+    #[test]
+    fn dataset_alignment(text in "[a-h ]{50,300}", block in 4usize..32) {
+        let tok = CharTokenizer::train(&["abcdefgh "]);
+        let ds = Dataset::from_texts(&[text], &tok, block);
+        for (inp, tgt) in ds.iter_examples() {
+            prop_assert_eq!(inp.len(), block);
+            prop_assert_eq!(tgt.len(), block);
+            // aligned: target[i] == input[i+1] wherever both are real tokens
+            for i in 0..block - 1 {
+                if tgt[i] != tok.pad_id() && inp[i + 1] != tok.pad_id() {
+                    prop_assert_eq!(tgt[i], inp[i + 1]);
+                }
+            }
+        }
+    }
+
+    /// Batches drawn from a dataset are always rectangular and in-vocab.
+    #[test]
+    fn batches_well_formed(seed in 0u64..1000, bsz in 1usize..6) {
+        let tok = CharTokenizer::train(&["abcdefgh "]);
+        let ds = Dataset::from_texts(&["abcdefgh ".repeat(40)], &tok, 16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = ds.sample_batch(bsz, &mut rng);
+        batch.assert_well_formed();
+        prop_assert_eq!(batch.batch_size(), bsz);
+        for row in &batch.inputs {
+            prop_assert!(row.iter().all(|&t| (t as usize) < tok.vocab_size()));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Plugging trained models into the serving stack.
+//!
+//! Trained models hold `Rc`-based autograd handles and are not `Send`;
+//! the worker pool therefore rebuilds a *replica* inside each worker
+//! thread from `Send`-able ingredients: the model kind, the tokenizer
+//! (a value type), and the trained weights as a [`TensorMap`]. This is
+//! the in-process analogue of the paper's "replicate the docker" scaling.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ratatouille_eval::structure::validate_tagged_recipe;
+use ratatouille_models::registry::{build_model, ModelKind};
+use ratatouille_models::sample::{generate, SamplerConfig};
+use ratatouille_models::LanguageModel;
+use ratatouille_serving::api::{GeneratedRecipe, RecipeBackend, RecipeBackendFactory};
+use ratatouille_tensor::serialize::TensorMap;
+use ratatouille_tokenizers::{special, Tokenizer};
+
+use crate::pipeline::{prompt_for, TrainedModel};
+
+/// A serving replica: one model + tokenizer + decoding state.
+pub struct ModelBackend {
+    model: Box<dyn LanguageModel>,
+    tokenizer: Box<dyn Tokenizer>,
+    sampler: SamplerConfig,
+    rng: StdRng,
+    max_tokens: usize,
+}
+
+impl ModelBackend {
+    /// Build a replica from `Send`-able parts (used inside worker threads).
+    pub fn from_weights(
+        kind: ModelKind,
+        tokenizer: &dyn Tokenizer,
+        weights: &TensorMap,
+        sampler: SamplerConfig,
+        seed: u64,
+    ) -> ModelBackend {
+        let model = build_model(kind, tokenizer.vocab_size());
+        load_weights(model.as_ref(), weights);
+        let max_tokens = if kind == ModelKind::CharLstm { 1100 } else { 260 };
+        ModelBackend {
+            model,
+            tokenizer: tokenizer.clone_box(),
+            sampler,
+            rng: StdRng::seed_from_u64(seed),
+            max_tokens,
+        }
+    }
+
+    /// Override the per-request decode budget (defaults to the model
+    /// kind's recipe-length budget).
+    pub fn set_max_tokens(&mut self, n: usize) {
+        self.max_tokens = n.max(1);
+    }
+}
+
+impl RecipeBackend for ModelBackend {
+    fn generate(&mut self, ingredients: &[String]) -> GeneratedRecipe {
+        let prompt_text = prompt_for(ingredients);
+        let prompt = self.tokenizer.encode(&prompt_text);
+        let cfg = SamplerConfig {
+            stop_token: Some(self.tokenizer.eos_id()),
+            max_tokens: self.max_tokens,
+            ..self.sampler.clone()
+        };
+        let continuation = generate(self.model.as_ref(), &prompt, &cfg, &mut self.rng);
+        let mut tagged = prompt_text;
+        tagged.push_str(&self.tokenizer.decode(&continuation));
+        tagged.push_str(special::RECIPE_END);
+        let report = validate_tagged_recipe(&tagged);
+        GeneratedRecipe {
+            title: report
+                .title
+                .clone()
+                .unwrap_or_else(|| "untitled recipe".into()),
+            ingredients: report.ingredients.clone(),
+            instructions: report.instructions.clone(),
+            well_formed: report.valid,
+        }
+    }
+
+    fn model_name(&self) -> String {
+        self.model.name().to_string()
+    }
+}
+
+/// Snapshot a model's weights by parameter name.
+pub fn weights_map(model: &dyn LanguageModel) -> TensorMap {
+    let mut map = TensorMap::new();
+    for (name, p) in model.named_parameters() {
+        map.insert(name, p.value());
+    }
+    map
+}
+
+/// Load named weights into a model in place.
+///
+/// # Panics
+/// Panics if a parameter is missing from the map or has the wrong shape
+/// (replica construction is programmer-controlled; a mismatch is a bug).
+pub fn load_weights(model: &dyn LanguageModel, map: &TensorMap) {
+    for (name, p) in model.named_parameters() {
+        let t = map
+            .get(&name)
+            .unwrap_or_else(|| panic!("weights map missing parameter `{name}`"));
+        assert_eq!(
+            t.dims(),
+            p.value().dims(),
+            "shape mismatch for `{name}`"
+        );
+        p.set_value(t.clone());
+    }
+}
+
+impl TrainedModel {
+    /// A `Send + Sync` factory producing serving replicas of this trained
+    /// model — pass to [`ratatouille_serving::ApiServer::start`].
+    pub fn backend_factory(&self) -> RecipeBackendFactory {
+        let kind = self.spec.kind;
+        let weights = weights_map(self.spec.model.as_ref());
+        let tokenizer: Arc<dyn Tokenizer> = Arc::from(self.spec.tokenizer.clone_box());
+        let sampler = self.sampler.clone();
+        Arc::new(move |worker_idx| {
+            Box::new(ModelBackend::from_weights(
+                kind,
+                tokenizer.as_ref(),
+                &weights,
+                sampler.clone(),
+                0x5EED ^ worker_idx as u64,
+            )) as Box<dyn RecipeBackend>
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::Pipeline;
+    use ratatouille_models::train::TrainConfig;
+
+    fn trained() -> TrainedModel {
+        let mut cfg = PipelineConfig::small();
+        cfg.corpus.num_recipes = 100;
+        let p = Pipeline::prepare(cfg);
+        p.train(
+            ModelKind::WordLstm,
+            Some(TrainConfig {
+                steps: 3,
+                batch_size: 2,
+                ..Default::default()
+            }),
+        )
+    }
+
+    #[test]
+    fn weights_roundtrip_through_map() {
+        let t = trained();
+        let map = weights_map(t.spec.model.as_ref());
+        let rebuilt = build_model(t.spec.kind, t.spec.tokenizer.vocab_size());
+        load_weights(rebuilt.as_ref(), &map);
+        for ((n1, p1), (_, p2)) in t
+            .spec
+            .model
+            .named_parameters()
+            .iter()
+            .zip(rebuilt.named_parameters().iter())
+        {
+            assert_eq!(p1.value(), p2.value(), "param {n1} differs");
+        }
+    }
+
+    #[test]
+    fn replica_generates_same_structure_as_original() {
+        let t = trained();
+        let factory = t.backend_factory();
+        let mut replica = factory(0);
+        let out = replica.generate(&["flour".into(), "water".into()]);
+        assert!(!out.title.is_empty());
+        assert_eq!(replica.model_name(), t.spec.model.name());
+    }
+
+    #[test]
+    fn factory_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let t = trained();
+        let factory = t.backend_factory();
+        assert_send_sync(&factory);
+        // and actually usable from another thread
+        let handle = std::thread::spawn(move || {
+            let mut replica = factory(1);
+            replica.generate(&["rice".into()]).title
+        });
+        assert!(!handle.join().unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing parameter")]
+    fn load_weights_detects_missing() {
+        let t = trained();
+        let empty = TensorMap::new();
+        load_weights(t.spec.model.as_ref(), &empty);
+    }
+}

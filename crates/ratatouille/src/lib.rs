@@ -1,0 +1,38 @@
+//! # ratatouille
+//!
+//! *A tool for Novel Recipe Generation* — the public API of the
+//! reproduction of Goel et al., ICDE 2022.
+//!
+//! The crate ties the substrates together into the paper's end-to-end
+//! flow (Fig. 3): corpus → preprocessing → tokenizer → language model →
+//! conditional generation → evaluation → web serving.
+//!
+//! ```no_run
+//! use ratatouille::{Pipeline, PipelineConfig};
+//! use ratatouille_models::registry::ModelKind;
+//!
+//! // Prepare data, train the best Table-I model, generate a recipe.
+//! let pipeline = Pipeline::prepare(PipelineConfig::small());
+//! let trained = pipeline.train(ModelKind::Gpt2Medium, None);
+//! let recipe = trained.generate_recipe(&["chicken".into(), "garlic".into()], 0);
+//! println!("{}", recipe.title);
+//! ```
+#![warn(missing_docs)]
+
+
+pub mod backend;
+pub mod config;
+pub mod pipeline;
+
+pub use backend::ModelBackend;
+pub use config::PipelineConfig;
+pub use pipeline::{Pipeline, TrainedModel};
+
+// Re-export the workspace's public surface so downstream users need one
+// dependency.
+pub use ratatouille_eval as eval;
+pub use ratatouille_models as models;
+pub use ratatouille_recipedb as recipedb;
+pub use ratatouille_serving as serving;
+pub use ratatouille_tensor as tensor;
+pub use ratatouille_tokenizers as tokenizers;

@@ -1,0 +1,156 @@
+//! Dietary-style classification — RecipeDB interlinks recipes with
+//! "dietary styles" and disease associations (DietRx); this module
+//! provides the dietary-style half: vegetarian/vegan/pescatarian/
+//! gluten-free classification derived from the ontology, plus corpus
+//! filters (used by the `fusion_cuisine` exploration and available to
+//! downstream users for constrained generation corpora).
+
+use crate::ontology::{self, IngredientCategory};
+use crate::recipe::Recipe;
+
+/// A dietary style a recipe can satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Diet {
+    /// No meat or seafood.
+    Vegetarian,
+    /// No animal products at all.
+    Vegan,
+    /// Fish/seafood allowed, no other meat.
+    Pescatarian,
+    /// No wheat-flour-based ingredients.
+    GlutenFree,
+}
+
+/// Ingredients with gluten (by name, from the ontology's grain entries).
+const GLUTEN_SOURCES: &[&str] = &["flour", "pasta", "bread crumbs", "noodles", "couscous", "tortillas"];
+
+/// Animal products that are not meat/seafood (for the vegan check).
+const ANIMAL_PRODUCTS: &[&str] = &[
+    "butter", "milk", "egg", "cheese", "yogurt", "cream", "parmesan", "paneer", "feta",
+    "honey", "ghee", "gelatin", "stock", "fish sauce", "worcestershire sauce",
+];
+
+/// Does `recipe` satisfy `diet`? Unknown ingredients are treated
+/// conservatively (fail the check) so the classifier never over-claims.
+pub fn satisfies(recipe: &Recipe, diet: Diet) -> bool {
+    recipe.ingredients.iter().all(|line| {
+        let Some(ing) = ontology::ingredient(&line.name) else {
+            return false; // unknown: be conservative
+        };
+        match diet {
+            Diet::Vegetarian => !matches!(
+                ing.category,
+                IngredientCategory::Meat | IngredientCategory::Seafood
+            ),
+            Diet::Pescatarian => ing.category != IngredientCategory::Meat,
+            Diet::Vegan => {
+                !matches!(
+                    ing.category,
+                    IngredientCategory::Meat | IngredientCategory::Seafood
+                ) && !ANIMAL_PRODUCTS.contains(&ing.name)
+            }
+            Diet::GlutenFree => !GLUTEN_SOURCES.contains(&ing.name),
+        }
+    })
+}
+
+/// All diets a recipe satisfies.
+pub fn classify(recipe: &Recipe) -> Vec<Diet> {
+    [Diet::Vegetarian, Diet::Vegan, Diet::Pescatarian, Diet::GlutenFree]
+        .into_iter()
+        .filter(|&d| satisfies(recipe, d))
+        .collect()
+}
+
+/// Filter a recipe set by diet.
+pub fn filter_by_diet<'a>(recipes: &'a [Recipe], diet: Diet) -> Vec<&'a Recipe> {
+    recipes.iter().filter(|r| satisfies(r, diet)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::{IngredientLine, Quantity};
+
+    fn recipe_with(names: &[&str]) -> Recipe {
+        Recipe {
+            id: 0,
+            title: "test".into(),
+            region: "US General".into(),
+            country: "United States".into(),
+            servings: 4,
+            ingredients: names
+                .iter()
+                .map(|n| IngredientLine {
+                    name: n.to_string(),
+                    qty: Quantity(1.0),
+                    unit: "cup".into(),
+                })
+                .collect(),
+            processes: vec![],
+            instructions: vec!["mix".into()],
+        }
+    }
+
+    #[test]
+    fn meat_fails_vegetarian() {
+        let r = recipe_with(&["chicken", "onion"]);
+        assert!(!satisfies(&r, Diet::Vegetarian));
+        assert!(!satisfies(&r, Diet::Vegan));
+        assert!(!satisfies(&r, Diet::Pescatarian));
+    }
+
+    #[test]
+    fn fish_is_pescatarian_not_vegetarian() {
+        let r = recipe_with(&["salmon", "lemon"]);
+        assert!(satisfies(&r, Diet::Pescatarian));
+        assert!(!satisfies(&r, Diet::Vegetarian));
+    }
+
+    #[test]
+    fn dairy_is_vegetarian_not_vegan() {
+        let r = recipe_with(&["butter", "flour", "sugar"]);
+        assert!(satisfies(&r, Diet::Vegetarian));
+        assert!(!satisfies(&r, Diet::Vegan));
+        assert!(!satisfies(&r, Diet::GlutenFree)); // flour
+    }
+
+    #[test]
+    fn vegan_and_gluten_free() {
+        let r = recipe_with(&["rice", "lentils", "onion", "olive oil", "cumin"]);
+        assert_eq!(
+            classify(&r),
+            vec![Diet::Vegetarian, Diet::Vegan, Diet::Pescatarian, Diet::GlutenFree]
+        );
+    }
+
+    #[test]
+    fn hidden_animal_products_caught() {
+        for sneaky in ["fish sauce", "stock", "honey", "gelatin"] {
+            let r = recipe_with(&[sneaky, "rice"]);
+            assert!(!satisfies(&r, Diet::Vegan), "{sneaky} passed vegan");
+        }
+    }
+
+    #[test]
+    fn unknown_ingredient_is_conservative() {
+        let r = recipe_with(&["mystery goo"]);
+        assert!(!satisfies(&r, Diet::Vegan));
+        assert!(!satisfies(&r, Diet::Vegetarian));
+    }
+
+    #[test]
+    fn corpus_filter_finds_vegetarian_recipes() {
+        use crate::corpus::{Corpus, CorpusConfig};
+        let c = Corpus::generate(CorpusConfig {
+            num_recipes: 300,
+            ..CorpusConfig::default()
+        });
+        let veg = filter_by_diet(&c.recipes, Diet::Vegetarian);
+        assert!(!veg.is_empty(), "no vegetarian recipes in 300");
+        assert!(veg.len() < c.recipes.len(), "everything vegetarian?");
+        for r in veg.iter().take(20) {
+            assert!(satisfies(r, Diet::Vegetarian));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Tabular export of the structured database view — RecipeDB is "a
+//! resource for exploring recipes", so the synthetic substitute exports
+//! the same relational tables (recipes, ingredient usage, nutrition,
+//! flavor links) as CSV for downstream analysis outside Rust.
+
+use std::io::Write;
+
+use crate::recipe::Recipe;
+
+/// Escape one CSV field (RFC 4180: quote when needed, double quotes).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Write one CSV row.
+fn write_row<W: Write>(w: &mut W, fields: &[String]) -> std::io::Result<()> {
+    let line: Vec<String> = fields.iter().map(|f| csv_field(f)).collect();
+    writeln!(w, "{}", line.join(","))
+}
+
+/// `recipes.csv`: one row per recipe with metadata and aggregates.
+pub fn export_recipes<W: Write>(recipes: &[Recipe], w: &mut W) -> std::io::Result<()> {
+    write_row(
+        w,
+        &["id", "title", "region", "country", "servings", "n_ingredients",
+           "n_steps", "kcal", "protein_g", "fat_g", "carbs_g"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    )?;
+    for r in recipes {
+        let n = r.nutrition();
+        write_row(
+            w,
+            &[
+                r.id.to_string(),
+                r.title.clone(),
+                r.region.clone(),
+                r.country.clone(),
+                r.servings.to_string(),
+                r.ingredients.len().to_string(),
+                r.instructions.len().to_string(),
+                format!("{:.1}", n.kcal),
+                format!("{:.1}", n.protein_g),
+                format!("{:.1}", n.fat_g),
+                format!("{:.1}", n.carbs_g),
+            ],
+        )?;
+    }
+    Ok(())
+}
+
+/// `ingredient_usage.csv`: one row per (recipe, ingredient line) — the
+/// join table for co-occurrence analysis.
+pub fn export_ingredient_usage<W: Write>(recipes: &[Recipe], w: &mut W) -> std::io::Result<()> {
+    write_row(
+        w,
+        &["recipe_id", "ingredient", "quantity", "unit"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    )?;
+    for r in recipes {
+        for line in &r.ingredients {
+            write_row(
+                w,
+                &[
+                    r.id.to_string(),
+                    line.name.clone(),
+                    format!("{}", line.qty.0),
+                    line.unit.clone(),
+                ],
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// `flavor_links.csv`: one row per (recipe, flavor molecule) — the
+/// FlavorDB-style link table.
+pub fn export_flavor_links<W: Write>(recipes: &[Recipe], w: &mut W) -> std::io::Result<()> {
+    write_row(
+        w,
+        &["recipe_id", "molecule"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    )?;
+    for r in recipes {
+        for m in r.flavor_profile() {
+            write_row(w, &[r.id.to_string(), m.to_string()])?;
+        }
+    }
+    Ok(())
+}
+
+/// Export all three tables into a directory
+/// (`recipes.csv`, `ingredient_usage.csv`, `flavor_links.csv`).
+pub fn export_all(recipes: &[Recipe], dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join("recipes.csv"))?;
+    export_recipes(recipes, &mut f)?;
+    let mut f = std::fs::File::create(dir.join("ingredient_usage.csv"))?;
+    export_ingredient_usage(recipes, &mut f)?;
+    let mut f = std::fs::File::create(dir.join("flavor_links.csv"))?;
+    export_flavor_links(recipes, &mut f)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::RecipeGenerator;
+
+    fn sample_recipes(n: usize) -> Vec<Recipe> {
+        let mut g = RecipeGenerator::new(5);
+        (0..n).map(|_| g.generate()).collect()
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn recipes_csv_row_count_and_header() {
+        let recipes = sample_recipes(10);
+        let mut buf = Vec::new();
+        export_recipes(&recipes, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines[0].starts_with("id,title,region"));
+        // every data row has the full column count
+        for l in &lines[1..] {
+            assert!(l.split(',').count() >= 11, "short row: {l}");
+        }
+    }
+
+    #[test]
+    fn usage_rows_match_ingredient_counts() {
+        let recipes = sample_recipes(5);
+        let expected: usize = recipes.iter().map(|r| r.ingredients.len()).sum();
+        let mut buf = Vec::new();
+        export_ingredient_usage(&recipes, &mut buf).unwrap();
+        let rows = String::from_utf8(buf).unwrap().lines().count() - 1;
+        assert_eq!(rows, expected);
+    }
+
+    #[test]
+    fn flavor_links_reference_valid_recipes() {
+        let recipes = sample_recipes(5);
+        let mut buf = Vec::new();
+        export_flavor_links(&recipes, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let ids: std::collections::HashSet<String> =
+            recipes.iter().map(|r| r.id.to_string()).collect();
+        for line in text.lines().skip(1) {
+            let id = line.split(',').next().unwrap();
+            assert!(ids.contains(id), "dangling recipe_id {id}");
+        }
+    }
+
+    #[test]
+    fn export_all_writes_three_files() {
+        let dir = std::env::temp_dir().join(format!("rt-export-{}", std::process::id()));
+        export_all(&sample_recipes(3), &dir).unwrap();
+        for name in ["recipes.csv", "ingredient_usage.csv", "flavor_links.csv"] {
+            let p = dir.join(name);
+            assert!(p.exists(), "{name} missing");
+            assert!(std::fs::metadata(&p).unwrap().len() > 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,263 @@
+//! The ingredient catalog: names, categories, default measures,
+//! FlavorDB-style flavor molecules, USDA-style nutrition per 100 g, and
+//! region affinities. RecipeDB links 20,262 ingredients; this catalog is a
+//! representative 140-ingredient core that covers every category the
+//! recipe grammar composes from.
+
+/// Culinary category of an ingredient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IngredientCategory {
+    /// Flours, rice, pasta, oats…
+    Grain,
+    /// Vegetables and aromatics.
+    Vegetable,
+    /// Fruit, fresh or dried.
+    Fruit,
+    /// Meat and poultry.
+    Meat,
+    /// Fish and shellfish.
+    Seafood,
+    /// Milk, cheese, butter, yogurt…
+    Dairy,
+    /// Dried spices.
+    Spice,
+    /// Fresh herbs.
+    Herb,
+    /// Cooking fats and oils.
+    Oil,
+    /// Sugars, honey, syrups.
+    Sweetener,
+    /// Beans, lentils, chickpeas…
+    Legume,
+    /// Nuts and seeds.
+    Nut,
+    /// Sauces and condiments.
+    Condiment,
+    /// Leaveners and other baking staples.
+    Baking,
+}
+
+/// One ingredient definition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ingredient {
+    /// Canonical lowercase name.
+    pub name: &'static str,
+    /// Culinary category.
+    pub category: IngredientCategory,
+    /// Default unit the grammar measures it in.
+    pub default_unit: &'static str,
+    /// Typical quantity in that unit for a 4-serving recipe.
+    pub typical_qty: f32,
+    /// FlavorDB-style key flavor molecules.
+    pub flavor_molecules: &'static [&'static str],
+    /// Kilocalories per 100 g.
+    pub kcal_per_100g: f32,
+    /// Protein grams per 100 g.
+    pub protein_g: f32,
+    /// Fat grams per 100 g.
+    pub fat_g: f32,
+    /// Carbohydrate grams per 100 g.
+    pub carbs_g: f32,
+    /// Regions where this ingredient is characteristic.
+    pub regions: &'static [&'static str],
+}
+
+use IngredientCategory::*;
+
+/// The full catalog, ordered by global popularity within each category —
+/// the grammar samples with Zipfian weights over this order, so earlier
+/// entries appear far more often (matching RecipeDB's long-tailed
+/// ingredient frequency distribution).
+pub const INGREDIENTS: &[Ingredient] = &[
+    // --- Grains -------------------------------------------------------
+    Ingredient { name: "flour", category: Grain, default_unit: "cup", typical_qty: 2.0, flavor_molecules: &["hexanal", "vanillin"], kcal_per_100g: 364.0, protein_g: 10.3, fat_g: 1.0, carbs_g: 76.3, regions: &["US General", "Western European", "British Isles"] },
+    Ingredient { name: "rice", category: Grain, default_unit: "cup", typical_qty: 1.5, flavor_molecules: &["2-acetyl-1-pyrroline"], kcal_per_100g: 360.0, protein_g: 6.6, fat_g: 0.6, carbs_g: 79.3, regions: &["Chinese", "Japanese", "Indian Subcontinent", "Southeast Asian"] },
+    Ingredient { name: "pasta", category: Grain, default_unit: "pound", typical_qty: 1.0, flavor_molecules: &["hexanal"], kcal_per_100g: 371.0, protein_g: 13.0, fat_g: 1.5, carbs_g: 74.7, regions: &["Southern European"] },
+    Ingredient { name: "bread crumbs", category: Grain, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["maltol", "furfural"], kcal_per_100g: 395.0, protein_g: 13.4, fat_g: 5.3, carbs_g: 71.9, regions: &["US General", "Western European"] },
+    Ingredient { name: "oats", category: Grain, default_unit: "cup", typical_qty: 1.5, flavor_molecules: &["hexanal", "nonanal"], kcal_per_100g: 389.0, protein_g: 16.9, fat_g: 6.9, carbs_g: 66.3, regions: &["British Isles", "Scandinavian"] },
+    Ingredient { name: "cornmeal", category: Grain, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["dimethyl sulfide"], kcal_per_100g: 370.0, protein_g: 7.1, fat_g: 1.8, carbs_g: 79.5, regions: &["US Southern", "Mexican", "Central American"] },
+    Ingredient { name: "noodles", category: Grain, default_unit: "pound", typical_qty: 0.75, flavor_molecules: &["hexanal"], kcal_per_100g: 384.0, protein_g: 14.0, fat_g: 4.4, carbs_g: 71.3, regions: &["Chinese", "Japanese", "Southeast Asian", "Korean"] },
+    Ingredient { name: "quinoa", category: Grain, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["nonanal"], kcal_per_100g: 368.0, protein_g: 14.1, fat_g: 6.1, carbs_g: 64.2, regions: &["Andean", "South American"] },
+    Ingredient { name: "couscous", category: Grain, default_unit: "cup", typical_qty: 1.5, flavor_molecules: &["hexanal"], kcal_per_100g: 376.0, protein_g: 12.8, fat_g: 0.6, carbs_g: 77.4, regions: &["Northern Africa", "Middle Eastern"] },
+    Ingredient { name: "tortillas", category: Grain, default_unit: "piece", typical_qty: 8.0, flavor_molecules: &["dimethyl sulfide", "maltol"], kcal_per_100g: 312.0, protein_g: 8.2, fat_g: 7.1, carbs_g: 50.9, regions: &["Mexican", "Central American"] },
+    // --- Vegetables -----------------------------------------------------
+    Ingredient { name: "onion", category: Vegetable, default_unit: "piece", typical_qty: 1.0, flavor_molecules: &["allyl propyl disulfide", "dipropyl disulfide"], kcal_per_100g: 40.0, protein_g: 1.1, fat_g: 0.1, carbs_g: 9.3, regions: &["US General", "Indian Subcontinent", "Western European", "Chinese"] },
+    Ingredient { name: "garlic", category: Vegetable, default_unit: "clove", typical_qty: 3.0, flavor_molecules: &["allicin", "diallyl disulfide"], kcal_per_100g: 149.0, protein_g: 6.4, fat_g: 0.5, carbs_g: 33.1, regions: &["Southern European", "Chinese", "Korean", "US General"] },
+    Ingredient { name: "tomato", category: Vegetable, default_unit: "piece", typical_qty: 3.0, flavor_molecules: &["cis-3-hexenal", "beta-ionone"], kcal_per_100g: 18.0, protein_g: 0.9, fat_g: 0.2, carbs_g: 3.9, regions: &["Southern European", "Mexican", "Indian Subcontinent", "Middle Eastern"] },
+    Ingredient { name: "carrot", category: Vegetable, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["beta-carotene", "terpinolene"], kcal_per_100g: 41.0, protein_g: 0.9, fat_g: 0.2, carbs_g: 9.6, regions: &["Western European", "British Isles", "US General"] },
+    Ingredient { name: "potato", category: Vegetable, default_unit: "piece", typical_qty: 4.0, flavor_molecules: &["methional", "2-isopropyl-3-methoxypyrazine"], kcal_per_100g: 77.0, protein_g: 2.0, fat_g: 0.1, carbs_g: 17.5, regions: &["Eastern European", "British Isles", "Andean", "US General"] },
+    Ingredient { name: "bell pepper", category: Vegetable, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["2-isobutyl-3-methoxypyrazine"], kcal_per_100g: 31.0, protein_g: 1.0, fat_g: 0.3, carbs_g: 6.0, regions: &["Mexican", "US Southern", "Southern European", "Chinese"] },
+    Ingredient { name: "celery", category: Vegetable, default_unit: "stalk", typical_qty: 2.0, flavor_molecules: &["sedanolide", "limonene"], kcal_per_100g: 16.0, protein_g: 0.7, fat_g: 0.2, carbs_g: 3.0, regions: &["US General", "Western European", "US Southern"] },
+    Ingredient { name: "spinach", category: Vegetable, default_unit: "cup", typical_qty: 2.0, flavor_molecules: &["cis-3-hexenol"], kcal_per_100g: 23.0, protein_g: 2.9, fat_g: 0.4, carbs_g: 3.6, regions: &["Indian Subcontinent", "Middle Eastern", "Southern European"] },
+    Ingredient { name: "broccoli", category: Vegetable, default_unit: "head", typical_qty: 1.0, flavor_molecules: &["dimethyl trisulfide", "sulforaphane"], kcal_per_100g: 34.0, protein_g: 2.8, fat_g: 0.4, carbs_g: 6.6, regions: &["Chinese", "US General"] },
+    Ingredient { name: "mushroom", category: Vegetable, default_unit: "cup", typical_qty: 2.0, flavor_molecules: &["1-octen-3-ol", "lenthionine"], kcal_per_100g: 22.0, protein_g: 3.1, fat_g: 0.3, carbs_g: 3.3, regions: &["Japanese", "Chinese", "Western European"] },
+    Ingredient { name: "ginger", category: Vegetable, default_unit: "tablespoon", typical_qty: 1.0, flavor_molecules: &["gingerol", "zingiberene"], kcal_per_100g: 80.0, protein_g: 1.8, fat_g: 0.8, carbs_g: 17.8, regions: &["Chinese", "Indian Subcontinent", "Southeast Asian", "Japanese"] },
+    Ingredient { name: "cabbage", category: Vegetable, default_unit: "head", typical_qty: 0.5, flavor_molecules: &["allyl isothiocyanate"], kcal_per_100g: 25.0, protein_g: 1.3, fat_g: 0.1, carbs_g: 5.8, regions: &["Korean", "Eastern European", "Chinese"] },
+    Ingredient { name: "zucchini", category: Vegetable, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["cis-3-hexenal"], kcal_per_100g: 17.0, protein_g: 1.2, fat_g: 0.3, carbs_g: 3.1, regions: &["Southern European", "Western European"] },
+    Ingredient { name: "eggplant", category: Vegetable, default_unit: "piece", typical_qty: 1.0, flavor_molecules: &["nasunin"], kcal_per_100g: 25.0, protein_g: 1.0, fat_g: 0.2, carbs_g: 5.9, regions: &["Middle Eastern", "Indian Subcontinent", "Southern European", "Chinese"] },
+    Ingredient { name: "cucumber", category: Vegetable, default_unit: "piece", typical_qty: 1.0, flavor_molecules: &["2,6-nonadienal"], kcal_per_100g: 15.0, protein_g: 0.7, fat_g: 0.1, carbs_g: 3.6, regions: &["Middle Eastern", "Scandinavian", "Korean"] },
+    Ingredient { name: "corn", category: Vegetable, default_unit: "cup", typical_qty: 1.5, flavor_molecules: &["dimethyl sulfide"], kcal_per_100g: 86.0, protein_g: 3.3, fat_g: 1.4, carbs_g: 19.0, regions: &["Mexican", "US Southern", "Central American"] },
+    Ingredient { name: "green beans", category: Vegetable, default_unit: "cup", typical_qty: 2.0, flavor_molecules: &["cis-3-hexenol"], kcal_per_100g: 31.0, protein_g: 1.8, fat_g: 0.2, carbs_g: 7.0, regions: &["US General", "Western European", "Chinese"] },
+    Ingredient { name: "peas", category: Vegetable, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["2-isopropyl-3-methoxypyrazine"], kcal_per_100g: 81.0, protein_g: 5.4, fat_g: 0.4, carbs_g: 14.5, regions: &["British Isles", "Indian Subcontinent"] },
+    Ingredient { name: "cauliflower", category: Vegetable, default_unit: "head", typical_qty: 1.0, flavor_molecules: &["dimethyl trisulfide"], kcal_per_100g: 25.0, protein_g: 1.9, fat_g: 0.3, carbs_g: 5.0, regions: &["Indian Subcontinent", "British Isles"] },
+    Ingredient { name: "sweet potato", category: Vegetable, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["beta-carotene", "maltol"], kcal_per_100g: 86.0, protein_g: 1.6, fat_g: 0.1, carbs_g: 20.1, regions: &["US Southern", "Western Africa", "Pacific Islander", "Japanese"] },
+    Ingredient { name: "scallion", category: Vegetable, default_unit: "bunch", typical_qty: 1.0, flavor_molecules: &["dipropyl disulfide"], kcal_per_100g: 32.0, protein_g: 1.8, fat_g: 0.2, carbs_g: 7.3, regions: &["Chinese", "Korean", "Japanese"] },
+    Ingredient { name: "leek", category: Vegetable, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["dipropyl disulfide"], kcal_per_100g: 61.0, protein_g: 1.5, fat_g: 0.3, carbs_g: 14.2, regions: &["Western European", "British Isles"] },
+    Ingredient { name: "pumpkin", category: Vegetable, default_unit: "cup", typical_qty: 2.0, flavor_molecules: &["beta-ionone"], kcal_per_100g: 26.0, protein_g: 1.0, fat_g: 0.1, carbs_g: 6.5, regions: &["US General", "Australian", "Pacific Islander"] },
+    Ingredient { name: "okra", category: Vegetable, default_unit: "cup", typical_qty: 2.0, flavor_molecules: &["cis-3-hexenal"], kcal_per_100g: 33.0, protein_g: 1.9, fat_g: 0.2, carbs_g: 7.5, regions: &["US Southern", "Western Africa", "Indian Subcontinent"] },
+    Ingredient { name: "bok choy", category: Vegetable, default_unit: "head", typical_qty: 2.0, flavor_molecules: &["allyl isothiocyanate"], kcal_per_100g: 13.0, protein_g: 1.5, fat_g: 0.2, carbs_g: 2.2, regions: &["Chinese", "Southeast Asian"] },
+    Ingredient { name: "plantain", category: Vegetable, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["isoamyl acetate"], kcal_per_100g: 122.0, protein_g: 1.3, fat_g: 0.4, carbs_g: 31.9, regions: &["Caribbean", "Western Africa", "Central American"] },
+    Ingredient { name: "beetroot", category: Vegetable, default_unit: "piece", typical_qty: 3.0, flavor_molecules: &["geosmin"], kcal_per_100g: 43.0, protein_g: 1.6, fat_g: 0.2, carbs_g: 9.6, regions: &["Eastern European", "Scandinavian"] },
+    // --- Fruit ----------------------------------------------------------
+    Ingredient { name: "lemon", category: Fruit, default_unit: "piece", typical_qty: 1.0, flavor_molecules: &["limonene", "citral"], kcal_per_100g: 29.0, protein_g: 1.1, fat_g: 0.3, carbs_g: 9.3, regions: &["Southern European", "Middle Eastern", "US General"] },
+    Ingredient { name: "lime", category: Fruit, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["limonene", "citral"], kcal_per_100g: 30.0, protein_g: 0.7, fat_g: 0.2, carbs_g: 10.5, regions: &["Mexican", "Southeast Asian", "Caribbean"] },
+    Ingredient { name: "apple", category: Fruit, default_unit: "piece", typical_qty: 3.0, flavor_molecules: &["hexyl acetate", "ethyl 2-methylbutanoate"], kcal_per_100g: 52.0, protein_g: 0.3, fat_g: 0.2, carbs_g: 13.8, regions: &["US General", "Western European", "British Isles"] },
+    Ingredient { name: "banana", category: Fruit, default_unit: "piece", typical_qty: 3.0, flavor_molecules: &["isoamyl acetate"], kcal_per_100g: 89.0, protein_g: 1.1, fat_g: 0.3, carbs_g: 22.8, regions: &["Caribbean", "Central American", "Pacific Islander"] },
+    Ingredient { name: "mango", category: Fruit, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["delta-3-carene", "myrcene"], kcal_per_100g: 60.0, protein_g: 0.8, fat_g: 0.4, carbs_g: 15.0, regions: &["Indian Subcontinent", "Southeast Asian", "Caribbean"] },
+    Ingredient { name: "coconut", category: Fruit, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["delta-octalactone"], kcal_per_100g: 354.0, protein_g: 3.3, fat_g: 33.5, carbs_g: 15.2, regions: &["Southeast Asian", "Pacific Islander", "Indian Subcontinent", "Caribbean"] },
+    Ingredient { name: "pineapple", category: Fruit, default_unit: "cup", typical_qty: 2.0, flavor_molecules: &["ethyl butanoate", "furaneol"], kcal_per_100g: 50.0, protein_g: 0.5, fat_g: 0.1, carbs_g: 13.1, regions: &["Pacific Islander", "Caribbean", "Central American"] },
+    Ingredient { name: "raisins", category: Fruit, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["furaneol"], kcal_per_100g: 299.0, protein_g: 3.1, fat_g: 0.5, carbs_g: 79.2, regions: &["Middle Eastern", "Northern Africa", "US General"] },
+    Ingredient { name: "dates", category: Fruit, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["furfural"], kcal_per_100g: 277.0, protein_g: 1.8, fat_g: 0.2, carbs_g: 75.0, regions: &["Middle Eastern", "Northern Africa"] },
+    Ingredient { name: "orange", category: Fruit, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["limonene", "octanal"], kcal_per_100g: 47.0, protein_g: 0.9, fat_g: 0.1, carbs_g: 11.8, regions: &["Southern European", "US General", "Northern Africa"] },
+    Ingredient { name: "berries", category: Fruit, default_unit: "cup", typical_qty: 2.0, flavor_molecules: &["furaneol", "linalool"], kcal_per_100g: 57.0, protein_g: 0.7, fat_g: 0.3, carbs_g: 14.5, regions: &["Scandinavian", "US General", "Canadian"] },
+    Ingredient { name: "tamarind", category: Fruit, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["furfural", "2-acetylfuran"], kcal_per_100g: 239.0, protein_g: 2.8, fat_g: 0.6, carbs_g: 62.5, regions: &["Indian Subcontinent", "Southeast Asian", "Mexican"] },
+    // --- Meat -----------------------------------------------------------
+    Ingredient { name: "chicken", category: Meat, default_unit: "pound", typical_qty: 1.5, flavor_molecules: &["2-methyl-3-furanthiol"], kcal_per_100g: 239.0, protein_g: 27.3, fat_g: 13.6, carbs_g: 0.0, regions: &["US General", "Indian Subcontinent", "Chinese", "Middle Eastern"] },
+    Ingredient { name: "beef", category: Meat, default_unit: "pound", typical_qty: 1.5, flavor_molecules: &["bis(2-methyl-3-furyl) disulfide"], kcal_per_100g: 250.0, protein_g: 26.0, fat_g: 15.0, carbs_g: 0.0, regions: &["US General", "South American", "Korean", "Western European"] },
+    Ingredient { name: "pork", category: Meat, default_unit: "pound", typical_qty: 1.5, flavor_molecules: &["2-methyl-3-furanthiol"], kcal_per_100g: 242.0, protein_g: 27.3, fat_g: 14.0, carbs_g: 0.0, regions: &["Chinese", "Eastern European", "US Southern", "Central American"] },
+    Ingredient { name: "lamb", category: Meat, default_unit: "pound", typical_qty: 1.5, flavor_molecules: &["4-methyloctanoic acid"], kcal_per_100g: 294.0, protein_g: 25.0, fat_g: 21.0, carbs_g: 0.0, regions: &["Middle Eastern", "Indian Subcontinent", "British Isles", "Northern Africa", "Australian"] },
+    Ingredient { name: "bacon", category: Meat, default_unit: "slice", typical_qty: 6.0, flavor_molecules: &["2-methyl-3-furanthiol", "guaiacol"], kcal_per_100g: 541.0, protein_g: 37.0, fat_g: 42.0, carbs_g: 1.4, regions: &["US General", "British Isles", "Western European"] },
+    Ingredient { name: "turkey", category: Meat, default_unit: "pound", typical_qty: 2.0, flavor_molecules: &["2-methyl-3-furanthiol"], kcal_per_100g: 189.0, protein_g: 29.0, fat_g: 7.0, carbs_g: 0.0, regions: &["US General", "Canadian"] },
+    Ingredient { name: "sausage", category: Meat, default_unit: "piece", typical_qty: 4.0, flavor_molecules: &["guaiacol"], kcal_per_100g: 301.0, protein_g: 12.0, fat_g: 27.0, carbs_g: 2.0, regions: &["Western European", "Eastern European", "US Southern"] },
+    Ingredient { name: "duck", category: Meat, default_unit: "pound", typical_qty: 2.0, flavor_molecules: &["2,4-decadienal"], kcal_per_100g: 337.0, protein_g: 19.0, fat_g: 28.0, carbs_g: 0.0, regions: &["Chinese", "Western European", "Southeast Asian"] },
+    // --- Seafood ----------------------------------------------------------
+    Ingredient { name: "salmon", category: Seafood, default_unit: "fillet", typical_qty: 4.0, flavor_molecules: &["2,6-nonadienal"], kcal_per_100g: 208.0, protein_g: 20.0, fat_g: 13.0, carbs_g: 0.0, regions: &["Scandinavian", "Japanese", "Canadian", "US General"] },
+    Ingredient { name: "shrimp", category: Seafood, default_unit: "pound", typical_qty: 1.0, flavor_molecules: &["pyrazines", "trimethylamine"], kcal_per_100g: 99.0, protein_g: 24.0, fat_g: 0.3, carbs_g: 0.2, regions: &["Southeast Asian", "US Southern", "Chinese", "Caribbean"] },
+    Ingredient { name: "white fish", category: Seafood, default_unit: "fillet", typical_qty: 4.0, flavor_molecules: &["2,6-nonadienal"], kcal_per_100g: 82.0, protein_g: 18.0, fat_g: 0.7, carbs_g: 0.0, regions: &["British Isles", "Scandinavian", "Pacific Islander"] },
+    Ingredient { name: "tuna", category: Seafood, default_unit: "can", typical_qty: 2.0, flavor_molecules: &["trimethylamine"], kcal_per_100g: 132.0, protein_g: 28.0, fat_g: 1.3, carbs_g: 0.0, regions: &["Japanese", "Southern European", "Pacific Islander"] },
+    Ingredient { name: "mussels", category: Seafood, default_unit: "pound", typical_qty: 2.0, flavor_molecules: &["dimethyl sulfide"], kcal_per_100g: 86.0, protein_g: 12.0, fat_g: 2.2, carbs_g: 3.7, regions: &["Western European", "Southern European", "Australian"] },
+    Ingredient { name: "squid", category: Seafood, default_unit: "pound", typical_qty: 1.0, flavor_molecules: &["trimethylamine"], kcal_per_100g: 92.0, protein_g: 15.6, fat_g: 1.4, carbs_g: 3.1, regions: &["Japanese", "Southern European", "Southeast Asian", "Korean"] },
+    // --- Dairy ------------------------------------------------------------
+    Ingredient { name: "butter", category: Dairy, default_unit: "tablespoon", typical_qty: 4.0, flavor_molecules: &["diacetyl", "butyric acid"], kcal_per_100g: 717.0, protein_g: 0.9, fat_g: 81.0, carbs_g: 0.1, regions: &["Western European", "US General", "British Isles"] },
+    Ingredient { name: "milk", category: Dairy, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["delta-decalactone"], kcal_per_100g: 61.0, protein_g: 3.2, fat_g: 3.3, carbs_g: 4.8, regions: &["US General", "Western European", "Indian Subcontinent"] },
+    Ingredient { name: "egg", category: Dairy, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["hydrogen sulfide"], kcal_per_100g: 155.0, protein_g: 13.0, fat_g: 11.0, carbs_g: 1.1, regions: &["US General", "Western European", "Chinese", "Japanese"] },
+    Ingredient { name: "cheese", category: Dairy, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["butyric acid", "methyl ketones"], kcal_per_100g: 402.0, protein_g: 25.0, fat_g: 33.0, carbs_g: 1.3, regions: &["Southern European", "Western European", "US General"] },
+    Ingredient { name: "yogurt", category: Dairy, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["acetaldehyde", "diacetyl"], kcal_per_100g: 59.0, protein_g: 10.0, fat_g: 0.7, carbs_g: 3.6, regions: &["Middle Eastern", "Indian Subcontinent", "Eastern European"] },
+    Ingredient { name: "cream", category: Dairy, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["delta-decalactone", "diacetyl"], kcal_per_100g: 345.0, protein_g: 2.1, fat_g: 37.0, carbs_g: 2.8, regions: &["Western European", "US General", "British Isles"] },
+    Ingredient { name: "parmesan", category: Dairy, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["butyric acid", "2-heptanone"], kcal_per_100g: 431.0, protein_g: 38.0, fat_g: 29.0, carbs_g: 4.1, regions: &["Southern European"] },
+    Ingredient { name: "paneer", category: Dairy, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["diacetyl"], kcal_per_100g: 265.0, protein_g: 18.3, fat_g: 20.8, carbs_g: 1.2, regions: &["Indian Subcontinent"] },
+    Ingredient { name: "feta", category: Dairy, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["butyric acid"], kcal_per_100g: 264.0, protein_g: 14.0, fat_g: 21.0, carbs_g: 4.1, regions: &["Southern European", "Middle Eastern"] },
+    // --- Spices -------------------------------------------------------------
+    Ingredient { name: "salt", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &[], kcal_per_100g: 0.0, protein_g: 0.0, fat_g: 0.0, carbs_g: 0.0, regions: &["US General", "Chinese", "Indian Subcontinent", "Western European"] },
+    Ingredient { name: "black pepper", category: Spice, default_unit: "teaspoon", typical_qty: 0.5, flavor_molecules: &["piperine", "beta-caryophyllene"], kcal_per_100g: 251.0, protein_g: 10.4, fat_g: 3.3, carbs_g: 63.9, regions: &["US General", "Indian Subcontinent", "Western European"] },
+    Ingredient { name: "cumin", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["cuminaldehyde"], kcal_per_100g: 375.0, protein_g: 17.8, fat_g: 22.3, carbs_g: 44.2, regions: &["Indian Subcontinent", "Mexican", "Middle Eastern", "Northern Africa"] },
+    Ingredient { name: "paprika", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["beta-ionone", "capsaicin"], kcal_per_100g: 282.0, protein_g: 14.1, fat_g: 12.9, carbs_g: 54.0, regions: &["Eastern European", "US Southern", "Southern European"] },
+    Ingredient { name: "turmeric", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["turmerone", "curcumin"], kcal_per_100g: 354.0, protein_g: 7.8, fat_g: 9.9, carbs_g: 64.9, regions: &["Indian Subcontinent", "Southeast Asian", "Middle Eastern"] },
+    Ingredient { name: "chili powder", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["capsaicin"], kcal_per_100g: 282.0, protein_g: 13.5, fat_g: 14.3, carbs_g: 49.7, regions: &["Mexican", "Indian Subcontinent", "US Southern", "Korean"] },
+    Ingredient { name: "cinnamon", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["cinnamaldehyde", "eugenol"], kcal_per_100g: 247.0, protein_g: 4.0, fat_g: 1.2, carbs_g: 80.6, regions: &["Middle Eastern", "US General", "Northern Africa", "Indian Subcontinent"] },
+    Ingredient { name: "coriander", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["linalool", "decanal"], kcal_per_100g: 298.0, protein_g: 12.4, fat_g: 17.8, carbs_g: 55.0, regions: &["Indian Subcontinent", "Middle Eastern", "Mexican"] },
+    Ingredient { name: "cardamom", category: Spice, default_unit: "teaspoon", typical_qty: 0.5, flavor_molecules: &["1,8-cineole", "alpha-terpinyl acetate"], kcal_per_100g: 311.0, protein_g: 10.8, fat_g: 6.7, carbs_g: 68.5, regions: &["Indian Subcontinent", "Scandinavian", "Middle Eastern"] },
+    Ingredient { name: "nutmeg", category: Spice, default_unit: "teaspoon", typical_qty: 0.25, flavor_molecules: &["myristicin", "sabinene"], kcal_per_100g: 525.0, protein_g: 5.8, fat_g: 36.3, carbs_g: 49.3, regions: &["Western European", "Caribbean", "US General"] },
+    Ingredient { name: "cayenne", category: Spice, default_unit: "teaspoon", typical_qty: 0.5, flavor_molecules: &["capsaicin"], kcal_per_100g: 318.0, protein_g: 12.0, fat_g: 17.3, carbs_g: 56.6, regions: &["US Southern", "Mexican", "Caribbean"] },
+    Ingredient { name: "garam masala", category: Spice, default_unit: "teaspoon", typical_qty: 2.0, flavor_molecules: &["cuminaldehyde", "cinnamaldehyde", "eugenol"], kcal_per_100g: 379.0, protein_g: 15.0, fat_g: 15.1, carbs_g: 50.0, regions: &["Indian Subcontinent"] },
+    Ingredient { name: "five spice", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["anethole", "cinnamaldehyde"], kcal_per_100g: 347.0, protein_g: 11.0, fat_g: 9.0, carbs_g: 65.0, regions: &["Chinese"] },
+    Ingredient { name: "za'atar", category: Spice, default_unit: "tablespoon", typical_qty: 1.0, flavor_molecules: &["thymol", "carvacrol"], kcal_per_100g: 264.0, protein_g: 9.0, fat_g: 7.0, carbs_g: 49.0, regions: &["Middle Eastern"] },
+    Ingredient { name: "sumac", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["malic acid"], kcal_per_100g: 324.0, protein_g: 4.0, fat_g: 15.0, carbs_g: 60.0, regions: &["Middle Eastern"] },
+    Ingredient { name: "saffron", category: Spice, default_unit: "pinch", typical_qty: 1.0, flavor_molecules: &["safranal", "picrocrocin"], kcal_per_100g: 310.0, protein_g: 11.4, fat_g: 5.9, carbs_g: 65.4, regions: &["Middle Eastern", "Southern European", "Indian Subcontinent"] },
+    Ingredient { name: "berbere", category: Spice, default_unit: "tablespoon", typical_qty: 1.0, flavor_molecules: &["capsaicin", "gingerol"], kcal_per_100g: 300.0, protein_g: 12.0, fat_g: 10.0, carbs_g: 55.0, regions: &["Eastern Africa"] },
+    Ingredient { name: "wasabi", category: Spice, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["allyl isothiocyanate"], kcal_per_100g: 292.0, protein_g: 2.2, fat_g: 10.9, carbs_g: 40.0, regions: &["Japanese"] },
+    Ingredient { name: "gochugaru", category: Spice, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["capsaicin"], kcal_per_100g: 282.0, protein_g: 13.0, fat_g: 13.0, carbs_g: 50.0, regions: &["Korean"] },
+    // --- Herbs -----------------------------------------------------------
+    Ingredient { name: "parsley", category: Herb, default_unit: "bunch", typical_qty: 0.5, flavor_molecules: &["apiole", "myristicin"], kcal_per_100g: 36.0, protein_g: 3.0, fat_g: 0.8, carbs_g: 6.3, regions: &["Middle Eastern", "Western European", "Southern European"] },
+    Ingredient { name: "cilantro", category: Herb, default_unit: "bunch", typical_qty: 0.5, flavor_molecules: &["decanal", "dodecanal"], kcal_per_100g: 23.0, protein_g: 2.1, fat_g: 0.5, carbs_g: 3.7, regions: &["Mexican", "Indian Subcontinent", "Southeast Asian", "Chinese"] },
+    Ingredient { name: "basil", category: Herb, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["estragole", "linalool", "eugenol"], kcal_per_100g: 23.0, protein_g: 3.2, fat_g: 0.6, carbs_g: 2.7, regions: &["Southern European", "Southeast Asian"] },
+    Ingredient { name: "mint", category: Herb, default_unit: "cup", typical_qty: 0.25, flavor_molecules: &["menthol", "carvone"], kcal_per_100g: 70.0, protein_g: 3.8, fat_g: 0.9, carbs_g: 14.9, regions: &["Middle Eastern", "Indian Subcontinent", "Northern Africa", "British Isles"] },
+    Ingredient { name: "rosemary", category: Herb, default_unit: "sprig", typical_qty: 2.0, flavor_molecules: &["1,8-cineole", "camphor", "alpha-pinene"], kcal_per_100g: 131.0, protein_g: 3.3, fat_g: 5.9, carbs_g: 20.7, regions: &["Southern European", "Western European"] },
+    Ingredient { name: "thyme", category: Herb, default_unit: "sprig", typical_qty: 3.0, flavor_molecules: &["thymol", "carvacrol"], kcal_per_100g: 101.0, protein_g: 5.6, fat_g: 1.7, carbs_g: 24.5, regions: &["Western European", "Caribbean", "US Southern"] },
+    Ingredient { name: "oregano", category: Herb, default_unit: "teaspoon", typical_qty: 2.0, flavor_molecules: &["carvacrol", "thymol"], kcal_per_100g: 265.0, protein_g: 9.0, fat_g: 4.3, carbs_g: 68.9, regions: &["Southern European", "Mexican"] },
+    Ingredient { name: "dill", category: Herb, default_unit: "bunch", typical_qty: 0.25, flavor_molecules: &["carvone", "limonene"], kcal_per_100g: 43.0, protein_g: 3.5, fat_g: 1.1, carbs_g: 7.0, regions: &["Scandinavian", "Eastern European"] },
+    Ingredient { name: "lemongrass", category: Herb, default_unit: "stalk", typical_qty: 2.0, flavor_molecules: &["citral", "geraniol"], kcal_per_100g: 99.0, protein_g: 1.8, fat_g: 0.5, carbs_g: 25.3, regions: &["Southeast Asian"] },
+    Ingredient { name: "bay leaf", category: Herb, default_unit: "piece", typical_qty: 2.0, flavor_molecules: &["1,8-cineole"], kcal_per_100g: 313.0, protein_g: 7.6, fat_g: 8.4, carbs_g: 75.0, regions: &["Western European", "Indian Subcontinent", "US Southern"] },
+    Ingredient { name: "sage", category: Herb, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["thujone", "camphor"], kcal_per_100g: 315.0, protein_g: 10.6, fat_g: 12.8, carbs_g: 60.7, regions: &["Southern European", "British Isles", "US General"] },
+    // --- Oils ---------------------------------------------------------------
+    Ingredient { name: "olive oil", category: Oil, default_unit: "tablespoon", typical_qty: 3.0, flavor_molecules: &["oleocanthal", "hexanal"], kcal_per_100g: 884.0, protein_g: 0.0, fat_g: 100.0, carbs_g: 0.0, regions: &["Southern European", "Middle Eastern", "Northern Africa"] },
+    Ingredient { name: "vegetable oil", category: Oil, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &[], kcal_per_100g: 884.0, protein_g: 0.0, fat_g: 100.0, carbs_g: 0.0, regions: &["US General", "Chinese", "Indian Subcontinent"] },
+    Ingredient { name: "sesame oil", category: Oil, default_unit: "teaspoon", typical_qty: 2.0, flavor_molecules: &["2-furylmethanethiol", "sesamol"], kcal_per_100g: 884.0, protein_g: 0.0, fat_g: 100.0, carbs_g: 0.0, regions: &["Chinese", "Korean", "Japanese"] },
+    Ingredient { name: "coconut oil", category: Oil, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["delta-octalactone"], kcal_per_100g: 862.0, protein_g: 0.0, fat_g: 100.0, carbs_g: 0.0, regions: &["Southeast Asian", "Pacific Islander", "Indian Subcontinent"] },
+    Ingredient { name: "ghee", category: Oil, default_unit: "tablespoon", typical_qty: 3.0, flavor_molecules: &["diacetyl", "delta-decalactone"], kcal_per_100g: 900.0, protein_g: 0.0, fat_g: 100.0, carbs_g: 0.0, regions: &["Indian Subcontinent"] },
+    // --- Sweeteners -----------------------------------------------------------
+    Ingredient { name: "sugar", category: Sweetener, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &[], kcal_per_100g: 387.0, protein_g: 0.0, fat_g: 0.0, carbs_g: 100.0, regions: &["US General", "Western European", "British Isles"] },
+    Ingredient { name: "brown sugar", category: Sweetener, default_unit: "cup", typical_qty: 0.75, flavor_molecules: &["maltol", "furaneol"], kcal_per_100g: 380.0, protein_g: 0.1, fat_g: 0.0, carbs_g: 98.1, regions: &["US General", "British Isles", "Caribbean"] },
+    Ingredient { name: "honey", category: Sweetener, default_unit: "tablespoon", typical_qty: 3.0, flavor_molecules: &["phenylacetaldehyde", "furaneol"], kcal_per_100g: 304.0, protein_g: 0.3, fat_g: 0.0, carbs_g: 82.4, regions: &["Middle Eastern", "US General", "Eastern European"] },
+    Ingredient { name: "maple syrup", category: Sweetener, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["sotolon", "maltol"], kcal_per_100g: 260.0, protein_g: 0.0, fat_g: 0.1, carbs_g: 67.0, regions: &["Canadian", "US General"] },
+    Ingredient { name: "molasses", category: Sweetener, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["maltol"], kcal_per_100g: 290.0, protein_g: 0.0, fat_g: 0.1, carbs_g: 74.7, regions: &["US Southern", "Caribbean"] },
+    Ingredient { name: "jaggery", category: Sweetener, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["maltol", "furaneol"], kcal_per_100g: 383.0, protein_g: 0.4, fat_g: 0.1, carbs_g: 97.3, regions: &["Indian Subcontinent"] },
+    // --- Legumes ---------------------------------------------------------------
+    Ingredient { name: "lentils", category: Legume, default_unit: "cup", typical_qty: 1.5, flavor_molecules: &["hexanal"], kcal_per_100g: 353.0, protein_g: 25.8, fat_g: 1.1, carbs_g: 60.1, regions: &["Indian Subcontinent", "Middle Eastern", "Eastern Africa"] },
+    Ingredient { name: "chickpeas", category: Legume, default_unit: "can", typical_qty: 2.0, flavor_molecules: &["hexanal"], kcal_per_100g: 364.0, protein_g: 19.3, fat_g: 6.0, carbs_g: 60.7, regions: &["Middle Eastern", "Indian Subcontinent", "Northern Africa", "Southern European"] },
+    Ingredient { name: "black beans", category: Legume, default_unit: "can", typical_qty: 2.0, flavor_molecules: &["hexanal"], kcal_per_100g: 341.0, protein_g: 21.6, fat_g: 1.4, carbs_g: 62.4, regions: &["Mexican", "Caribbean", "South American", "Central American"] },
+    Ingredient { name: "kidney beans", category: Legume, default_unit: "can", typical_qty: 2.0, flavor_molecules: &["hexanal"], kcal_per_100g: 333.0, protein_g: 23.6, fat_g: 0.8, carbs_g: 60.0, regions: &["Indian Subcontinent", "US Southern", "Caribbean"] },
+    Ingredient { name: "tofu", category: Legume, default_unit: "pound", typical_qty: 1.0, flavor_molecules: &["hexanal"], kcal_per_100g: 76.0, protein_g: 8.0, fat_g: 4.8, carbs_g: 1.9, regions: &["Chinese", "Japanese", "Korean", "Southeast Asian"] },
+    Ingredient { name: "edamame", category: Legume, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["cis-3-hexenol"], kcal_per_100g: 121.0, protein_g: 12.0, fat_g: 5.2, carbs_g: 8.9, regions: &["Japanese", "Chinese"] },
+    // --- Nuts -------------------------------------------------------------------
+    Ingredient { name: "almonds", category: Nut, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["benzaldehyde"], kcal_per_100g: 579.0, protein_g: 21.2, fat_g: 49.9, carbs_g: 21.6, regions: &["Middle Eastern", "Southern European", "US General", "Indian Subcontinent"] },
+    Ingredient { name: "peanuts", category: Nut, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["2,5-dimethylpyrazine"], kcal_per_100g: 567.0, protein_g: 25.8, fat_g: 49.2, carbs_g: 16.1, regions: &["Western Africa", "Southeast Asian", "US Southern", "Chinese"] },
+    Ingredient { name: "cashews", category: Nut, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["2,5-dimethylpyrazine"], kcal_per_100g: 553.0, protein_g: 18.2, fat_g: 43.9, carbs_g: 30.2, regions: &["Indian Subcontinent", "Southeast Asian", "Western Africa"] },
+    Ingredient { name: "walnuts", category: Nut, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["hexanal", "pentanal"], kcal_per_100g: 654.0, protein_g: 15.2, fat_g: 65.2, carbs_g: 13.7, regions: &["US General", "Western European", "Middle Eastern"] },
+    Ingredient { name: "sesame seeds", category: Nut, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["sesamol", "2-furylmethanethiol"], kcal_per_100g: 573.0, protein_g: 17.7, fat_g: 49.7, carbs_g: 23.4, regions: &["Middle Eastern", "Japanese", "Korean", "Chinese"] },
+    Ingredient { name: "pine nuts", category: Nut, default_unit: "tablespoon", typical_qty: 3.0, flavor_molecules: &["alpha-pinene"], kcal_per_100g: 673.0, protein_g: 13.7, fat_g: 68.4, carbs_g: 13.1, regions: &["Southern European", "Middle Eastern"] },
+    // --- Condiments -----------------------------------------------------------------
+    Ingredient { name: "soy sauce", category: Condiment, default_unit: "tablespoon", typical_qty: 3.0, flavor_molecules: &["sotolon", "methionol"], kcal_per_100g: 53.0, protein_g: 8.1, fat_g: 0.6, carbs_g: 4.9, regions: &["Chinese", "Japanese", "Korean", "Southeast Asian"] },
+    Ingredient { name: "fish sauce", category: Condiment, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["trimethylamine", "butyric acid"], kcal_per_100g: 35.0, protein_g: 5.1, fat_g: 0.0, carbs_g: 3.6, regions: &["Southeast Asian"] },
+    Ingredient { name: "vinegar", category: Condiment, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["acetic acid"], kcal_per_100g: 18.0, protein_g: 0.0, fat_g: 0.0, carbs_g: 0.0, regions: &["Chinese", "Western European", "US General", "Eastern European"] },
+    Ingredient { name: "mustard", category: Condiment, default_unit: "tablespoon", typical_qty: 1.0, flavor_molecules: &["allyl isothiocyanate"], kcal_per_100g: 66.0, protein_g: 4.4, fat_g: 4.0, carbs_g: 5.8, regions: &["Western European", "US General", "British Isles"] },
+    Ingredient { name: "tomato paste", category: Condiment, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["beta-ionone", "furaneol"], kcal_per_100g: 82.0, protein_g: 4.3, fat_g: 0.5, carbs_g: 18.9, regions: &["Southern European", "Middle Eastern", "US General"] },
+    Ingredient { name: "coconut milk", category: Condiment, default_unit: "can", typical_qty: 1.0, flavor_molecules: &["delta-octalactone"], kcal_per_100g: 230.0, protein_g: 2.3, fat_g: 23.8, carbs_g: 5.5, regions: &["Southeast Asian", "Indian Subcontinent", "Caribbean", "Pacific Islander"] },
+    Ingredient { name: "stock", category: Condiment, default_unit: "cup", typical_qty: 4.0, flavor_molecules: &["2-methyl-3-furanthiol"], kcal_per_100g: 5.0, protein_g: 0.5, fat_g: 0.2, carbs_g: 0.4, regions: &["US General", "Western European", "Chinese", "British Isles"] },
+    Ingredient { name: "salsa", category: Condiment, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["cis-3-hexenal", "capsaicin"], kcal_per_100g: 36.0, protein_g: 1.5, fat_g: 0.2, carbs_g: 7.0, regions: &["Mexican", "Central American"] },
+    Ingredient { name: "miso", category: Condiment, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["sotolon", "methionol"], kcal_per_100g: 199.0, protein_g: 12.8, fat_g: 6.0, carbs_g: 26.5, regions: &["Japanese"] },
+    Ingredient { name: "gochujang", category: Condiment, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &["capsaicin", "sotolon"], kcal_per_100g: 177.0, protein_g: 4.5, fat_g: 1.2, carbs_g: 38.0, regions: &["Korean"] },
+    Ingredient { name: "tahini", category: Condiment, default_unit: "tablespoon", typical_qty: 3.0, flavor_molecules: &["sesamol"], kcal_per_100g: 595.0, protein_g: 17.0, fat_g: 53.8, carbs_g: 21.2, regions: &["Middle Eastern", "Northern Africa"] },
+    Ingredient { name: "harissa", category: Condiment, default_unit: "tablespoon", typical_qty: 1.0, flavor_molecules: &["capsaicin", "cuminaldehyde"], kcal_per_100g: 70.0, protein_g: 3.0, fat_g: 2.8, carbs_g: 10.0, regions: &["Northern Africa"] },
+    Ingredient { name: "worcestershire sauce", category: Condiment, default_unit: "tablespoon", typical_qty: 1.0, flavor_molecules: &["acetic acid", "sotolon"], kcal_per_100g: 78.0, protein_g: 0.0, fat_g: 0.0, carbs_g: 19.5, regions: &["British Isles", "US General"] },
+    Ingredient { name: "hot sauce", category: Condiment, default_unit: "teaspoon", typical_qty: 2.0, flavor_molecules: &["capsaicin", "acetic acid"], kcal_per_100g: 12.0, protein_g: 0.5, fat_g: 0.4, carbs_g: 1.8, regions: &["US Southern", "Mexican", "Caribbean"] },
+    Ingredient { name: "peanut butter", category: Condiment, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["2,5-dimethylpyrazine"], kcal_per_100g: 588.0, protein_g: 25.1, fat_g: 50.4, carbs_g: 19.6, regions: &["US General", "Western Africa", "Southeast Asian"] },
+    // --- Baking ---------------------------------------------------------------------
+    Ingredient { name: "baking powder", category: Baking, default_unit: "teaspoon", typical_qty: 2.0, flavor_molecules: &[], kcal_per_100g: 53.0, protein_g: 0.0, fat_g: 0.0, carbs_g: 27.7, regions: &["US General", "Western European", "British Isles"] },
+    Ingredient { name: "baking soda", category: Baking, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &[], kcal_per_100g: 0.0, protein_g: 0.0, fat_g: 0.0, carbs_g: 0.0, regions: &["US General", "British Isles"] },
+    Ingredient { name: "yeast", category: Baking, default_unit: "teaspoon", typical_qty: 2.0, flavor_molecules: &["3-methylbutanol"], kcal_per_100g: 325.0, protein_g: 40.4, fat_g: 7.6, carbs_g: 41.2, regions: &["Western European", "US General", "Middle Eastern"] },
+    Ingredient { name: "vanilla extract", category: Baking, default_unit: "teaspoon", typical_qty: 1.0, flavor_molecules: &["vanillin"], kcal_per_100g: 288.0, protein_g: 0.1, fat_g: 0.1, carbs_g: 12.7, regions: &["US General", "Western European"] },
+    Ingredient { name: "cocoa powder", category: Baking, default_unit: "cup", typical_qty: 0.5, flavor_molecules: &["tetramethylpyrazine", "vanillin"], kcal_per_100g: 228.0, protein_g: 19.6, fat_g: 13.7, carbs_g: 57.9, regions: &["US General", "Western European", "South American"] },
+    Ingredient { name: "chocolate", category: Baking, default_unit: "cup", typical_qty: 1.0, flavor_molecules: &["tetramethylpyrazine", "vanillin"], kcal_per_100g: 546.0, protein_g: 4.9, fat_g: 31.3, carbs_g: 61.2, regions: &["US General", "Western European", "South American"] },
+    Ingredient { name: "cornstarch", category: Baking, default_unit: "tablespoon", typical_qty: 2.0, flavor_molecules: &[], kcal_per_100g: 381.0, protein_g: 0.3, fat_g: 0.1, carbs_g: 91.3, regions: &["US General", "Chinese"] },
+    Ingredient { name: "gelatin", category: Baking, default_unit: "tablespoon", typical_qty: 1.0, flavor_molecules: &[], kcal_per_100g: 335.0, protein_g: 85.6, fat_g: 0.1, carbs_g: 0.0, regions: &["US General", "Western European"] },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_large_enough_for_grammar() {
+        assert!(INGREDIENTS.len() >= 120, "got {}", INGREDIENTS.len());
+    }
+
+    #[test]
+    fn names_are_lowercase() {
+        for i in INGREDIENTS {
+            assert_eq!(i.name, i.name.to_lowercase(), "`{}` not lowercase", i.name);
+        }
+    }
+
+    #[test]
+    fn macronutrients_bounded() {
+        for i in INGREDIENTS {
+            let total = i.protein_g + i.fat_g + i.carbs_g;
+            assert!(
+                total <= 101.0,
+                "`{}` macronutrients exceed 100g/100g: {total}",
+                i.name
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The culinary ontology: ingredients, cooking processes, units, and
+//! geo-cultural regions, interlinked the way RecipeDB links recipes to
+//! FlavorDB molecules, USDA nutrition and region metadata.
+
+pub mod ingredients;
+pub mod processes;
+pub mod regions;
+pub mod substitutions;
+pub mod units;
+
+pub use ingredients::{Ingredient, IngredientCategory, INGREDIENTS};
+pub use processes::{Process, ProcessKind, PROCESSES};
+pub use regions::{Region, REGIONS};
+pub use substitutions::{substitutes, Substitution, SUBSTITUTIONS};
+pub use units::{Unit, UnitKind, UNITS};
+
+/// Look up an ingredient definition by name.
+pub fn ingredient(name: &str) -> Option<&'static Ingredient> {
+    INGREDIENTS.iter().find(|i| i.name == name)
+}
+
+/// Look up a process by verb.
+pub fn process(verb: &str) -> Option<&'static Process> {
+    PROCESSES.iter().find(|p| p.verb == verb)
+}
+
+/// Look up a unit by singular name.
+pub fn unit(name: &str) -> Option<&'static Unit> {
+    UNITS.iter().find(|u| u.name == name)
+}
+
+/// Look up a region by name.
+pub fn region(name: &str) -> Option<&'static Region> {
+    REGIONS.iter().find(|r| r.name == name)
+}
+
+/// All ingredients in a category.
+pub fn ingredients_in(cat: IngredientCategory) -> Vec<&'static Ingredient> {
+    INGREDIENTS.iter().filter(|i| i.category == cat).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_is_well_formed() {
+        // Every ingredient references a real unit and at least one region.
+        for ing in INGREDIENTS {
+            assert!(
+                unit(ing.default_unit).is_some(),
+                "ingredient `{}` has unknown unit `{}`",
+                ing.name,
+                ing.default_unit
+            );
+            assert!(
+                !ing.regions.is_empty(),
+                "ingredient `{}` has no region affinity",
+                ing.name
+            );
+            for r in ing.regions {
+                assert!(
+                    region(r).is_some(),
+                    "ingredient `{}` references unknown region `{r}`",
+                    ing.name
+                );
+            }
+            assert!(ing.kcal_per_100g >= 0.0);
+            assert!(ing.typical_qty > 0.0, "ingredient `{}` typical_qty", ing.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for ing in INGREDIENTS {
+            assert!(seen.insert(ing.name), "duplicate ingredient `{}`", ing.name);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in PROCESSES {
+            assert!(seen.insert(p.verb), "duplicate process `{}`", p.verb);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for r in REGIONS {
+            assert!(seen.insert(r.name), "duplicate region `{}`", r.name);
+        }
+    }
+
+    #[test]
+    fn paper_scale_shape() {
+        // The paper: 6 continents, 26 regions. We model all 26 regions.
+        let continents: std::collections::HashSet<_> =
+            REGIONS.iter().map(|r| r.continent).collect();
+        assert_eq!(continents.len(), 6, "expected 6 continents");
+        assert_eq!(REGIONS.len(), 26, "expected 26 regions");
+        // A useful spread of processes and ingredients.
+        assert!(PROCESSES.len() >= 50, "got {} processes", PROCESSES.len());
+        assert!(INGREDIENTS.len() >= 120, "got {} ingredients", INGREDIENTS.len());
+    }
+
+    #[test]
+    fn every_category_is_populated() {
+        use IngredientCategory::*;
+        for cat in [
+            Grain, Vegetable, Fruit, Meat, Seafood, Dairy, Spice, Herb, Oil, Sweetener,
+            Legume, Nut, Condiment, Baking,
+        ] {
+            assert!(
+                !ingredients_in(cat).is_empty(),
+                "category {cat:?} has no ingredients"
+            );
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        assert!(ingredient("flour").is_some());
+        assert!(ingredient("unobtanium").is_none());
+        assert!(process("simmer").is_some());
+        assert!(unit("cup").is_some());
+    }
+}

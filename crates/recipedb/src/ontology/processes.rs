@@ -1,0 +1,128 @@
+//! Cooking processes (RecipeDB catalogs 268; we model a representative
+//! 64 spanning preparation, heat application, combination and finishing).
+
+/// Broad class of a cooking process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessKind {
+    /// Knife work and other pre-cooking preparation.
+    Prep,
+    /// Applying heat.
+    Heat,
+    /// Combining or transforming mixtures.
+    Combine,
+    /// Plating, garnishing, resting.
+    Finish,
+}
+
+/// One cooking process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Process {
+    /// Imperative verb as it appears in instructions ("simmer").
+    pub verb: &'static str,
+    /// Process class.
+    pub kind: ProcessKind,
+    /// Typical duration in minutes (0 for instantaneous actions).
+    pub minutes: u16,
+}
+
+use ProcessKind::*;
+
+/// All cooking processes the grammar can emit.
+pub const PROCESSES: &[Process] = &[
+    // --- Prep -------------------------------------------------------
+    Process { verb: "chop", kind: Prep, minutes: 5 },
+    Process { verb: "dice", kind: Prep, minutes: 5 },
+    Process { verb: "mince", kind: Prep, minutes: 4 },
+    Process { verb: "slice", kind: Prep, minutes: 4 },
+    Process { verb: "julienne", kind: Prep, minutes: 6 },
+    Process { verb: "grate", kind: Prep, minutes: 3 },
+    Process { verb: "peel", kind: Prep, minutes: 3 },
+    Process { verb: "trim", kind: Prep, minutes: 2 },
+    Process { verb: "rinse", kind: Prep, minutes: 1 },
+    Process { verb: "drain", kind: Prep, minutes: 1 },
+    Process { verb: "soak", kind: Prep, minutes: 30 },
+    Process { verb: "marinate", kind: Prep, minutes: 60 },
+    Process { verb: "season", kind: Prep, minutes: 1 },
+    Process { verb: "measure", kind: Prep, minutes: 2 },
+    Process { verb: "crush", kind: Prep, minutes: 2 },
+    Process { verb: "zest", kind: Prep, minutes: 2 },
+    Process { verb: "core", kind: Prep, minutes: 2 },
+    Process { verb: "shred", kind: Prep, minutes: 4 },
+    Process { verb: "cube", kind: Prep, minutes: 5 },
+    Process { verb: "butterfly", kind: Prep, minutes: 4 },
+    // --- Heat -------------------------------------------------------
+    Process { verb: "boil", kind: Heat, minutes: 10 },
+    Process { verb: "simmer", kind: Heat, minutes: 20 },
+    Process { verb: "steam", kind: Heat, minutes: 12 },
+    Process { verb: "blanch", kind: Heat, minutes: 3 },
+    Process { verb: "poach", kind: Heat, minutes: 8 },
+    Process { verb: "fry", kind: Heat, minutes: 8 },
+    Process { verb: "deep-fry", kind: Heat, minutes: 6 },
+    Process { verb: "stir-fry", kind: Heat, minutes: 6 },
+    Process { verb: "saute", kind: Heat, minutes: 5 },
+    Process { verb: "sear", kind: Heat, minutes: 4 },
+    Process { verb: "grill", kind: Heat, minutes: 12 },
+    Process { verb: "broil", kind: Heat, minutes: 8 },
+    Process { verb: "roast", kind: Heat, minutes: 45 },
+    Process { verb: "bake", kind: Heat, minutes: 30 },
+    Process { verb: "toast", kind: Heat, minutes: 3 },
+    Process { verb: "braise", kind: Heat, minutes: 90 },
+    Process { verb: "stew", kind: Heat, minutes: 60 },
+    Process { verb: "caramelize", kind: Heat, minutes: 15 },
+    Process { verb: "reduce", kind: Heat, minutes: 10 },
+    Process { verb: "preheat", kind: Heat, minutes: 10 },
+    Process { verb: "melt", kind: Heat, minutes: 3 },
+    Process { verb: "scald", kind: Heat, minutes: 4 },
+    Process { verb: "smoke", kind: Heat, minutes: 120 },
+    Process { verb: "temper", kind: Heat, minutes: 5 },
+    // --- Combine ----------------------------------------------------
+    Process { verb: "mix", kind: Combine, minutes: 3 },
+    Process { verb: "stir", kind: Combine, minutes: 2 },
+    Process { verb: "whisk", kind: Combine, minutes: 3 },
+    Process { verb: "beat", kind: Combine, minutes: 4 },
+    Process { verb: "fold", kind: Combine, minutes: 2 },
+    Process { verb: "knead", kind: Combine, minutes: 10 },
+    Process { verb: "blend", kind: Combine, minutes: 2 },
+    Process { verb: "puree", kind: Combine, minutes: 3 },
+    Process { verb: "toss", kind: Combine, minutes: 1 },
+    Process { verb: "coat", kind: Combine, minutes: 2 },
+    Process { verb: "stuff", kind: Combine, minutes: 8 },
+    Process { verb: "layer", kind: Combine, minutes: 5 },
+    Process { verb: "roll", kind: Combine, minutes: 5 },
+    Process { verb: "emulsify", kind: Combine, minutes: 3 },
+    // --- Finish -----------------------------------------------------
+    Process { verb: "garnish", kind: Finish, minutes: 2 },
+    Process { verb: "rest", kind: Finish, minutes: 10 },
+    Process { verb: "chill", kind: Finish, minutes: 60 },
+    Process { verb: "cool", kind: Finish, minutes: 15 },
+    Process { verb: "serve", kind: Finish, minutes: 1 },
+    Process { verb: "plate", kind: Finish, minutes: 2 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_present() {
+        for kind in [Prep, Heat, Combine, Finish] {
+            assert!(
+                PROCESSES.iter().any(|p| p.kind == kind),
+                "no process of kind {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn verbs_lowercase_single_token() {
+        for p in PROCESSES {
+            assert_eq!(p.verb, p.verb.to_lowercase(), "verb {} not lowercase", p.verb);
+            assert!(!p.verb.contains(' '), "verb {} contains space", p.verb);
+        }
+    }
+
+    #[test]
+    fn catalog_size() {
+        assert!(PROCESSES.len() >= 60, "got {}", PROCESSES.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! Geo-cultural regions: 26 regions across 6 continents with
+//! representative countries, mirroring RecipeDB's geography (6 continents,
+//! 26 geo-cultural regions, 74 countries).
+
+/// A geo-cultural region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Region name as used throughout the corpus.
+    pub name: &'static str,
+    /// Continent the region belongs to.
+    pub continent: &'static str,
+    /// Representative countries.
+    pub countries: &'static [&'static str],
+    /// Adjective used in generated titles ("thai chicken curry").
+    pub adjective: &'static str,
+}
+
+/// All 26 regions.
+pub const REGIONS: &[Region] = &[
+    // --- Africa -----------------------------------------------------
+    Region { name: "Northern Africa", continent: "Africa", countries: &["Egypt", "Morocco", "Tunisia"], adjective: "moroccan" },
+    Region { name: "Western Africa", continent: "Africa", countries: &["Nigeria", "Ghana", "Senegal"], adjective: "west african" },
+    Region { name: "Eastern Africa", continent: "Africa", countries: &["Ethiopia", "Kenya"], adjective: "ethiopian" },
+    Region { name: "Southern Africa", continent: "Africa", countries: &["South Africa", "Mozambique"], adjective: "south african" },
+    // --- Asia -------------------------------------------------------
+    Region { name: "Middle Eastern", continent: "Asia", countries: &["Lebanon", "Turkey", "Iran", "Israel"], adjective: "lebanese" },
+    Region { name: "Indian Subcontinent", continent: "Asia", countries: &["India", "Pakistan", "Bangladesh", "Sri Lanka"], adjective: "indian" },
+    Region { name: "Southeast Asian", continent: "Asia", countries: &["Thailand", "Vietnam", "Indonesia", "Malaysia", "Philippines"], adjective: "thai" },
+    Region { name: "Chinese", continent: "Asia", countries: &["China"], adjective: "chinese" },
+    Region { name: "Japanese", continent: "Asia", countries: &["Japan"], adjective: "japanese" },
+    Region { name: "Korean", continent: "Asia", countries: &["South Korea"], adjective: "korean" },
+    Region { name: "Central Asian", continent: "Asia", countries: &["Uzbekistan", "Kazakhstan"], adjective: "central asian" },
+    // --- Europe -----------------------------------------------------
+    Region { name: "Eastern European", continent: "Europe", countries: &["Poland", "Ukraine", "Hungary", "Russia"], adjective: "polish" },
+    Region { name: "Scandinavian", continent: "Europe", countries: &["Sweden", "Norway", "Denmark", "Finland"], adjective: "swedish" },
+    Region { name: "British Isles", continent: "Europe", countries: &["United Kingdom", "Ireland"], adjective: "british" },
+    Region { name: "Western European", continent: "Europe", countries: &["France", "Belgium", "Netherlands", "Germany", "Austria", "Switzerland"], adjective: "french" },
+    Region { name: "Southern European", continent: "Europe", countries: &["Italy", "Spain", "Portugal", "Greece"], adjective: "italian" },
+    // --- North America ----------------------------------------------
+    Region { name: "US General", continent: "North America", countries: &["United States"], adjective: "american" },
+    Region { name: "US Southern", continent: "North America", countries: &["United States"], adjective: "cajun" },
+    Region { name: "Canadian", continent: "North America", countries: &["Canada"], adjective: "canadian" },
+    Region { name: "Mexican", continent: "North America", countries: &["Mexico"], adjective: "mexican" },
+    Region { name: "Central American", continent: "North America", countries: &["Guatemala", "Costa Rica", "Panama"], adjective: "central american" },
+    Region { name: "Caribbean", continent: "North America", countries: &["Jamaica", "Cuba", "Trinidad and Tobago"], adjective: "jamaican" },
+    // --- South America ----------------------------------------------
+    Region { name: "South American", continent: "South America", countries: &["Brazil", "Argentina", "Peru", "Colombia", "Chile"], adjective: "brazilian" },
+    Region { name: "Andean", continent: "South America", countries: &["Peru", "Bolivia", "Ecuador"], adjective: "peruvian" },
+    // --- Oceania ----------------------------------------------------
+    Region { name: "Australian", continent: "Oceania", countries: &["Australia", "New Zealand"], adjective: "australian" },
+    Region { name: "Pacific Islander", continent: "Oceania", countries: &["Fiji", "Samoa", "Hawaii"], adjective: "hawaiian" },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn countries_nonempty() {
+        for r in REGIONS {
+            assert!(!r.countries.is_empty(), "region {} has no countries", r.name);
+            assert!(!r.adjective.is_empty());
+        }
+    }
+
+    #[test]
+    fn country_count_is_paper_scale() {
+        let mut countries: Vec<&str> = REGIONS.iter().flat_map(|r| r.countries.iter().copied()).collect();
+        countries.sort_unstable();
+        countries.dedup();
+        // RecipeDB spans 74 countries; a representative subset is fine but
+        // it should be a real spread, not a handful.
+        assert!(countries.len() >= 50, "only {} countries", countries.len());
+    }
+}

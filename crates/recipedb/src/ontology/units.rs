@@ -1,0 +1,99 @@
+//! Measurement units with approximate gram equivalents (for nutrition
+//! aggregation) and pluralization.
+
+/// What a unit measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitKind {
+    /// Volume (cup, tablespoon, millilitre…).
+    Volume,
+    /// Mass (gram, pound, ounce…).
+    Mass,
+    /// Discrete count (clove, piece, slice…).
+    Count,
+}
+
+/// A measurement unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Unit {
+    /// Singular name ("cup").
+    pub name: &'static str,
+    /// Plural name ("cups").
+    pub plural: &'static str,
+    /// What kind of measurement this is.
+    pub kind: UnitKind,
+    /// Approximate grams of a typical ingredient per 1 unit (used for
+    /// nutrition aggregation; volume figures assume water-like density).
+    pub grams: f32,
+}
+
+/// All units the grammar can emit.
+pub const UNITS: &[Unit] = &[
+    Unit { name: "cup", plural: "cups", kind: UnitKind::Volume, grams: 240.0 },
+    Unit { name: "tablespoon", plural: "tablespoons", kind: UnitKind::Volume, grams: 15.0 },
+    Unit { name: "teaspoon", plural: "teaspoons", kind: UnitKind::Volume, grams: 5.0 },
+    Unit { name: "millilitre", plural: "millilitres", kind: UnitKind::Volume, grams: 1.0 },
+    Unit { name: "litre", plural: "litres", kind: UnitKind::Volume, grams: 1000.0 },
+    Unit { name: "gram", plural: "grams", kind: UnitKind::Mass, grams: 1.0 },
+    Unit { name: "kilogram", plural: "kilograms", kind: UnitKind::Mass, grams: 1000.0 },
+    Unit { name: "ounce", plural: "ounces", kind: UnitKind::Mass, grams: 28.35 },
+    Unit { name: "pound", plural: "pounds", kind: UnitKind::Mass, grams: 453.6 },
+    Unit { name: "pinch", plural: "pinches", kind: UnitKind::Volume, grams: 0.4 },
+    Unit { name: "dash", plural: "dashes", kind: UnitKind::Volume, grams: 0.6 },
+    Unit { name: "clove", plural: "cloves", kind: UnitKind::Count, grams: 5.0 },
+    Unit { name: "piece", plural: "pieces", kind: UnitKind::Count, grams: 100.0 },
+    Unit { name: "slice", plural: "slices", kind: UnitKind::Count, grams: 30.0 },
+    Unit { name: "bunch", plural: "bunches", kind: UnitKind::Count, grams: 150.0 },
+    Unit { name: "can", plural: "cans", kind: UnitKind::Count, grams: 400.0 },
+    Unit { name: "stalk", plural: "stalks", kind: UnitKind::Count, grams: 40.0 },
+    Unit { name: "sprig", plural: "sprigs", kind: UnitKind::Count, grams: 2.0 },
+    Unit { name: "head", plural: "heads", kind: UnitKind::Count, grams: 500.0 },
+    Unit { name: "fillet", plural: "fillets", kind: UnitKind::Count, grams: 170.0 },
+];
+
+impl Unit {
+    /// "cup" for 1, "cups" otherwise (fractions < 1 read as singular:
+    /// "1/2 cup").
+    pub fn display(&self, qty: f32) -> &'static str {
+        if qty <= 1.0 {
+            self.name
+        } else {
+            self.plural
+        }
+    }
+
+    /// Grams represented by `qty` of this unit.
+    pub fn to_grams(&self, qty: f32) -> f32 {
+        self.grams * qty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pluralization() {
+        let cup = UNITS.iter().find(|u| u.name == "cup").unwrap();
+        assert_eq!(cup.display(0.5), "cup");
+        assert_eq!(cup.display(1.0), "cup");
+        assert_eq!(cup.display(2.0), "cups");
+    }
+
+    #[test]
+    fn gram_conversion_sane() {
+        let lb = UNITS.iter().find(|u| u.name == "pound").unwrap();
+        assert!((lb.to_grams(2.0) - 907.2).abs() < 0.1);
+        for u in UNITS {
+            assert!(u.grams > 0.0, "unit {} has nonpositive grams", u.name);
+        }
+    }
+
+    #[test]
+    fn names_unique_and_plural_differs() {
+        let mut seen = std::collections::HashSet::new();
+        for u in UNITS {
+            assert!(seen.insert(u.name));
+            assert_ne!(u.name, u.plural, "unit {} lacks plural", u.name);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Flavor-pairing analysis — the FlavorDB side of RecipeDB's pitch
+//! ("scientific explorations of the culinary space … to taste attributes").
+//!
+//! The food-pairing hypothesis scores ingredient pairs by shared flavor
+//! molecules; this module computes those scores over the ontology and
+//! checks whether the recipe grammar's region conditioning produces the
+//! co-occurrence structure real cuisines show.
+
+use crate::ontology::{self, Ingredient, INGREDIENTS};
+use crate::recipe::Recipe;
+
+/// Flavor molecules two ingredients share.
+pub fn shared_molecules(a: &Ingredient, b: &Ingredient) -> Vec<&'static str> {
+    a.flavor_molecules
+        .iter()
+        .filter(|m| b.flavor_molecules.contains(m))
+        .copied()
+        .collect()
+}
+
+/// Jaccard similarity of two ingredients' molecule sets (0 when either
+/// has no catalogued molecules).
+pub fn pairing_score(a: &Ingredient, b: &Ingredient) -> f64 {
+    let shared = shared_molecules(a, b).len();
+    let union = a.flavor_molecules.len() + b.flavor_molecules.len() - shared;
+    if union == 0 {
+        0.0
+    } else {
+        shared as f64 / union as f64
+    }
+}
+
+/// The strongest flavor pairings for `name`, best first.
+pub fn best_pairings(name: &str, top: usize) -> Vec<(&'static str, f64)> {
+    let Some(ing) = ontology::ingredient(name) else {
+        return Vec::new();
+    };
+    let mut scored: Vec<(&'static str, f64)> = INGREDIENTS
+        .iter()
+        .filter(|other| other.name != ing.name)
+        .map(|other| (other.name, pairing_score(ing, other)))
+        .filter(|&(_, s)| s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(b.0)));
+    scored.truncate(top);
+    scored
+}
+
+/// Mean pairwise pairing score across a recipe's ingredients — a crude
+/// "flavor coherence" signal.
+pub fn recipe_pairing_score(recipe: &Recipe) -> f64 {
+    let ings: Vec<&Ingredient> = recipe
+        .ingredients
+        .iter()
+        .filter_map(|l| ontology::ingredient(&l.name))
+        .collect();
+    if ings.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for i in 0..ings.len() {
+        for j in i + 1..ings.len() {
+            sum += pairing_score(ings[i], ings[j]);
+            n += 1;
+        }
+    }
+    sum / n as f64
+}
+
+/// Ingredient co-occurrence count over a recipe set, strongest first —
+/// the statistic region conditioning is supposed to shape.
+pub fn co_occurrence(recipes: &[&Recipe], min_count: usize) -> Vec<((String, String), usize)> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<(String, String), usize> = HashMap::new();
+    for r in recipes {
+        let mut names: Vec<&str> = r.ingredients.iter().map(|l| l.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        for i in 0..names.len() {
+            for j in i + 1..names.len() {
+                *counts
+                    .entry((names[i].to_string(), names[j].to_string()))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    let mut v: Vec<((String, String), usize)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusConfig};
+
+    fn ing(name: &str) -> &'static Ingredient {
+        ontology::ingredient(name).unwrap()
+    }
+
+    #[test]
+    fn shared_molecules_symmetric() {
+        let a = ing("sesame oil");
+        let b = ing("sesame seeds");
+        let ab = shared_molecules(a, b);
+        let ba = shared_molecules(b, a);
+        assert_eq!(ab.len(), ba.len());
+        assert!(ab.contains(&"sesamol"), "{ab:?}");
+    }
+
+    #[test]
+    fn pairing_score_bounds_and_symmetry() {
+        for (x, y) in [("butter", "cream"), ("lemon", "lime"), ("salt", "flour")] {
+            let s1 = pairing_score(ing(x), ing(y));
+            let s2 = pairing_score(ing(y), ing(x));
+            assert!((0.0..=1.0).contains(&s1));
+            assert_eq!(s1, s2, "{x}/{y}");
+        }
+        // identical molecule sets → 1.0
+        assert_eq!(pairing_score(ing("lemon"), ing("lemon")), 1.0);
+        // salt has no molecules catalogued → 0 with everything
+        assert_eq!(pairing_score(ing("salt"), ing("flour")), 0.0);
+    }
+
+    #[test]
+    fn classic_pairings_rank_high() {
+        // butter–cream share diacetyl & lactones: should be a top pairing
+        let tops = best_pairings("butter", 8);
+        assert!(
+            tops.iter().any(|(n, _)| *n == "cream"),
+            "butter's best pairings: {tops:?}"
+        );
+        // citrus pairs: lemon ↔ lime / orange share limonene+citral
+        let tops = best_pairings("lemon", 5);
+        assert!(tops.iter().any(|(n, _)| *n == "lime"), "{tops:?}");
+    }
+
+    #[test]
+    fn unknown_ingredient_is_empty() {
+        assert!(best_pairings("unobtanium", 5).is_empty());
+    }
+
+    #[test]
+    fn recipe_scores_are_bounded() {
+        let c = Corpus::generate(CorpusConfig {
+            num_recipes: 50,
+            ..CorpusConfig::default()
+        });
+        for r in &c.recipes {
+            let s = recipe_pairing_score(r);
+            assert!((0.0..=1.0).contains(&s), "recipe {} score {s}", r.id);
+        }
+    }
+
+    #[test]
+    fn region_conditioning_shapes_cooccurrence() {
+        // Classic regional pairs should co-occur often in a corpus.
+        let c = Corpus::generate(CorpusConfig {
+            num_recipes: 600,
+            ..CorpusConfig::default()
+        });
+        let refs: Vec<&Recipe> = c.recipes.iter().collect();
+        let pairs = co_occurrence(&refs, 3);
+        assert!(!pairs.is_empty());
+        let find = |a: &str, b: &str| -> usize {
+            let key = if a < b { (a, b) } else { (b, a) };
+            pairs
+                .iter()
+                .find(|((x, y), _)| x == key.0 && y == key.1)
+                .map(|&(_, c)| c)
+                .unwrap_or(0)
+        };
+        // soy sauce & ginger (East Asian) should co-occur far more than
+        // soy sauce & parmesan (cross-cuisine)
+        let coherent = find("ginger", "soy sauce");
+        let incoherent = find("parmesan", "soy sauce");
+        assert!(
+            coherent > incoherent,
+            "ginger+soy {coherent} vs parmesan+soy {incoherent}"
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! The recipe schema: the structured record RecipeDB stores per recipe,
+//! plus the two textual renderings the pipeline needs — the raw "scraped"
+//! form (Fig. 1) and the tagged training form (Fig. 2).
+
+use ratatouille_tokenizers::special;
+
+use crate::ontology;
+
+/// A cooking quantity, stored as a rational-friendly float and displayed
+/// with kitchen fractions ("1 1/2 cups"). The paper emphasizes that its
+/// models, unlike prior work, generate quantities and units — the special
+/// fraction tokens exist for exactly these values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantity(pub f32);
+
+impl Quantity {
+    /// Nearest kitchen-friendly representation: whole part plus one of the
+    /// common fractions in [`special::FRACTIONS`].
+    pub fn display(&self) -> String {
+        let whole = self.0.floor() as u32;
+        let frac = self.0 - whole as f32;
+        let frac_str = nearest_fraction(frac);
+        match (whole, frac_str) {
+            (0, Some(f)) => f.to_string(),
+            (0, None) => "0".to_string(),
+            (w, Some(f)) => format!("{w} {f}"),
+            (w, None) => w.to_string(),
+        }
+    }
+}
+
+/// Closest common cooking fraction to `frac` within 1/32, if any.
+fn nearest_fraction(frac: f32) -> Option<&'static str> {
+    const TABLE: &[(f32, &str)] = &[
+        (0.0625, "1/16"),
+        (0.125, "1/8"),
+        (0.25, "1/4"),
+        (1.0 / 3.0, "1/3"),
+        (0.375, "3/8"),
+        (0.5, "1/2"),
+        (0.625, "5/8"),
+        (2.0 / 3.0, "2/3"),
+        (0.75, "3/4"),
+        (0.875, "7/8"),
+    ];
+    if frac < 0.03125 {
+        return None;
+    }
+    let mut best: Option<(f32, &str)> = None;
+    for &(v, s) in TABLE {
+        let d = (v - frac).abs();
+        if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+            best = Some((d, s));
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+/// One line of the ingredient list: quantity, unit, ingredient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngredientLine {
+    /// Ingredient name (a key into the ontology).
+    pub name: String,
+    /// Amount in `unit`s.
+    pub qty: Quantity,
+    /// Unit name (a key into [`ontology::UNITS`]).
+    pub unit: String,
+}
+
+impl IngredientLine {
+    /// "1 1/2 cups flour".
+    pub fn display(&self) -> String {
+        let unit = ontology::unit(&self.unit)
+            .map(|u| u.display(self.qty.0))
+            .unwrap_or(self.unit.as_str());
+        format!("{} {} {}", self.qty.display(), unit, self.name)
+    }
+
+    /// Approximate grams this line contributes.
+    pub fn grams(&self) -> f32 {
+        ontology::unit(&self.unit)
+            .map(|u| u.to_grams(self.qty.0))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Aggregated nutrition for a whole recipe (USDA-style, per recipe).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Nutrition {
+    /// Total kilocalories.
+    pub kcal: f32,
+    /// Total protein grams.
+    pub protein_g: f32,
+    /// Total fat grams.
+    pub fat_g: f32,
+    /// Total carbohydrate grams.
+    pub carbs_g: f32,
+}
+
+/// A full structured recipe record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recipe {
+    /// Unique id within its corpus.
+    pub id: u64,
+    /// Title ("thai chicken stir-fry").
+    pub title: String,
+    /// Geo-cultural region name.
+    pub region: String,
+    /// Country within the region.
+    pub country: String,
+    /// Number of servings.
+    pub servings: u8,
+    /// Ingredient lines, in use order.
+    pub ingredients: Vec<IngredientLine>,
+    /// Cooking processes used (verbs from the ontology), in order.
+    pub processes: Vec<String>,
+    /// Instruction steps, in order.
+    pub instructions: Vec<String>,
+}
+
+impl Recipe {
+    /// Aggregate FlavorDB-style flavor molecules across ingredients
+    /// (deduplicated, in first-appearance order).
+    pub fn flavor_profile(&self) -> Vec<&'static str> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for line in &self.ingredients {
+            if let Some(ing) = ontology::ingredient(&line.name) {
+                for &m in ing.flavor_molecules {
+                    if seen.insert(m) {
+                        out.push(m);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregate nutrition across ingredient lines.
+    pub fn nutrition(&self) -> Nutrition {
+        let mut n = Nutrition::default();
+        for line in &self.ingredients {
+            if let Some(ing) = ontology::ingredient(&line.name) {
+                let factor = line.grams() / 100.0;
+                n.kcal += ing.kcal_per_100g * factor;
+                n.protein_g += ing.protein_g * factor;
+                n.fat_g += ing.fat_g * factor;
+                n.carbs_g += ing.carbs_g * factor;
+            }
+        }
+        n
+    }
+
+    /// The tagged training rendering (Fig. 2 / Fig. 3): the prompt section
+    /// lists the bare input ingredients, then title, full ingredient lines
+    /// (with quantity and unit), and instructions, each section delimited
+    /// by its special tokens. Fractions are replaced by their atomic
+    /// tokens.
+    pub fn to_tagged_string(&self) -> String {
+        use special::*;
+        let mut s = String::with_capacity(1024);
+        s.push_str(RECIPE_START);
+        s.push_str(INPUT_START);
+        for (i, line) in self.ingredients.iter().enumerate() {
+            if i > 0 {
+                s.push_str(NEXT_INPUT);
+            }
+            s.push(' ');
+            s.push_str(&line.name);
+            s.push(' ');
+        }
+        s.push_str(INPUT_END);
+        s.push_str(TITLE_START);
+        s.push(' ');
+        s.push_str(&self.title);
+        s.push(' ');
+        s.push_str(TITLE_END);
+        s.push_str(INGR_START);
+        for (i, line) in self.ingredients.iter().enumerate() {
+            if i > 0 {
+                s.push_str(NEXT_INGR);
+            }
+            s.push(' ');
+            s.push_str(&line.display());
+            s.push(' ');
+        }
+        s.push_str(INGR_END);
+        s.push_str(INSTR_START);
+        for (i, step) in self.instructions.iter().enumerate() {
+            if i > 0 {
+                s.push_str(NEXT_INSTR);
+            }
+            s.push(' ');
+            s.push_str(step);
+            s.push(' ');
+        }
+        s.push_str(INSTR_END);
+        s.push_str(RECIPE_END);
+        special::encode_fractions(&s)
+    }
+
+    /// The raw "as scraped" rendering (Fig. 1): title-case headerless
+    /// text with inconsistent casing/punctuation — what preprocessing has
+    /// to clean up.
+    pub fn to_raw_string(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str(&title_case(&self.title));
+        s.push('\n');
+        s.push_str("Ingredients: ");
+        for (i, line) in self.ingredients.iter().enumerate() {
+            if i > 0 {
+                s.push_str(" ; ");
+            }
+            s.push_str(&line.display());
+        }
+        s.push('\n');
+        for step in &self.instructions {
+            s.push_str(step);
+            s.push_str(" . ");
+        }
+        s.push('\n');
+        s
+    }
+}
+
+/// Uppercase the first letter of each word.
+fn title_case(s: &str) -> String {
+    s.split(' ')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Recipe {
+        Recipe {
+            id: 7,
+            title: "simple flatbread".into(),
+            region: "Middle Eastern".into(),
+            country: "Lebanon".into(),
+            servings: 4,
+            ingredients: vec![
+                IngredientLine { name: "flour".into(), qty: Quantity(2.0), unit: "cup".into() },
+                IngredientLine { name: "salt".into(), qty: Quantity(0.5), unit: "teaspoon".into() },
+                IngredientLine { name: "olive oil".into(), qty: Quantity(1.5), unit: "tablespoon".into() },
+            ],
+            processes: vec!["mix".into(), "knead".into(), "bake".into()],
+            instructions: vec![
+                "mix the flour and salt".into(),
+                "knead until smooth".into(),
+                "bake until lightly browned".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn quantity_fraction_display() {
+        assert_eq!(Quantity(0.5).display(), "1/2");
+        assert_eq!(Quantity(1.5).display(), "1 1/2");
+        assert_eq!(Quantity(2.0).display(), "2");
+        assert_eq!(Quantity(0.25).display(), "1/4");
+        assert_eq!(Quantity(0.33).display(), "1/3");
+        assert_eq!(Quantity(0.0).display(), "0");
+        assert_eq!(Quantity(3.75).display(), "3 3/4");
+    }
+
+    #[test]
+    fn ingredient_line_display_pluralizes() {
+        let line = IngredientLine { name: "flour".into(), qty: Quantity(2.0), unit: "cup".into() };
+        assert_eq!(line.display(), "2 cups flour");
+        let line = IngredientLine { name: "salt".into(), qty: Quantity(0.5), unit: "teaspoon".into() };
+        assert_eq!(line.display(), "1/2 teaspoon salt");
+    }
+
+    #[test]
+    fn tagged_string_structure() {
+        use ratatouille_tokenizers::special::*;
+        let s = sample().to_tagged_string();
+        for tag in [
+            RECIPE_START, INPUT_START, INPUT_END, TITLE_START, TITLE_END, INGR_START,
+            INGR_END, INSTR_START, INSTR_END, RECIPE_END,
+        ] {
+            assert!(s.contains(tag), "missing {tag} in {s}");
+        }
+        // sections are ordered
+        let pos = |t: &str| s.find(t).unwrap();
+        assert!(pos(INPUT_START) < pos(TITLE_START));
+        assert!(pos(TITLE_END) < pos(INGR_START));
+        assert!(pos(INGR_END) < pos(INSTR_START));
+        // fractions became atomic tokens
+        assert!(s.contains("<FRAC_1_2>"), "{s}");
+        assert!(!s.contains("1/2"));
+    }
+
+    #[test]
+    fn raw_string_is_messier_than_tagged() {
+        let raw = sample().to_raw_string();
+        assert!(raw.contains("Simple Flatbread"));
+        assert!(raw.contains("Ingredients:"));
+        assert!(!raw.contains("<RECIPE_START>"));
+    }
+
+    #[test]
+    fn flavor_profile_dedups() {
+        let r = sample();
+        let prof = r.flavor_profile();
+        let set: std::collections::HashSet<_> = prof.iter().collect();
+        assert_eq!(set.len(), prof.len());
+        assert!(prof.contains(&"hexanal")); // from flour and olive oil, once
+    }
+
+    #[test]
+    fn nutrition_positive_and_scales() {
+        let r = sample();
+        let n = r.nutrition();
+        assert!(n.kcal > 1000.0, "2 cups flour alone ≈ 1700 kcal, got {}", n.kcal);
+        assert!(n.carbs_g > n.fat_g);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests on the RecipeDB substrate: the grammar, preprocessing
+//! and parsing must uphold their invariants for every seed, not just the
+//! seeds unit tests happen to use.
+
+use proptest::prelude::*;
+use ratatouille_recipedb::corpus::{Corpus, CorpusConfig};
+use ratatouille_recipedb::grammar::RecipeGenerator;
+use ratatouille_recipedb::preprocess::{parse_ingredient_line, PreprocessConfig, Preprocessor};
+use ratatouille_recipedb::recipe::Quantity;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The generator is a pure function of its seed.
+    #[test]
+    fn generator_is_deterministic(seed in 0u64..100_000) {
+        let a: Vec<_> = {
+            let mut g = RecipeGenerator::new(seed);
+            (0..3).map(|_| g.generate()).collect()
+        };
+        let b: Vec<_> = {
+            let mut g = RecipeGenerator::new(seed);
+            (0..3).map(|_| g.generate()).collect()
+        };
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every ingredient line a recipe displays parses back to the same
+    /// quantity and unit.
+    #[test]
+    fn ingredient_lines_roundtrip(seed in 0u64..100_000) {
+        let mut g = RecipeGenerator::new(seed);
+        let r = g.generate();
+        for line in &r.ingredients {
+            let shown = line.display();
+            let parsed = parse_ingredient_line(&shown)
+                .unwrap_or_else(|| panic!("unparseable line `{shown}`"));
+            prop_assert_eq!(&parsed.unit, &line.unit, "line `{}`", shown);
+            prop_assert!((parsed.qty.0 - line.qty.0).abs() < 0.02, "line `{}`", shown);
+            prop_assert_eq!(&parsed.name, &line.name);
+        }
+    }
+
+    /// Kitchen-quantity display never emits raw decimals.
+    #[test]
+    fn quantity_display_is_kitchen_friendly(q in 1u32..64) {
+        let qty = Quantity(q as f32 * 0.25);
+        let s = qty.display();
+        prop_assert!(!s.contains('.'), "decimal leaked: {s}");
+        prop_assert!(!s.is_empty());
+    }
+
+    /// The preprocessing pipeline's accounting always balances: outputs +
+    /// removals ≤ inputs + merges bookkeeping never goes negative.
+    #[test]
+    fn preprocess_accounting_balances(seed in 0u64..1000) {
+        let corpus = Corpus::generate(CorpusConfig {
+            seed,
+            num_recipes: 120,
+            ..CorpusConfig::default()
+        });
+        let (texts, rep) = Preprocessor::new(PreprocessConfig::default()).run(&corpus.raw_records);
+        prop_assert_eq!(texts.len(), rep.output_texts);
+        let removed = rep.duplicates_removed + rep.parse_failures + rep.invalid_removed;
+        prop_assert!(removed <= rep.input_records);
+        // every output is within the configured cap
+        prop_assert!(texts.iter().all(|t| t.len() <= 2000));
+        // recipes in ≥ recipes out (merging only coalesces)
+        let recipes_out: usize = texts.iter().map(|t| t.matches("<RECIPE_START>").count()).sum();
+        prop_assert!(recipes_out <= rep.input_records);
+    }
+
+    /// Corpus splits partition the recipe set for any test fraction.
+    #[test]
+    fn split_partitions(frac in 0.05f64..0.5) {
+        let corpus = Corpus::generate(CorpusConfig {
+            num_recipes: 100,
+            ..CorpusConfig::default()
+        });
+        let (train, test) = corpus.split(frac);
+        prop_assert_eq!(train.len() + test.len(), corpus.recipes.len());
+        let train_ids: std::collections::HashSet<u64> = train.iter().map(|r| r.id).collect();
+        prop_assert!(test.iter().all(|r| !train_ids.contains(&r.id)));
+    }
+}

@@ -1,0 +1,377 @@
+//! The Ratatouille HTTP API: the backend half of Figs. 4–5.
+//!
+//! Endpoints:
+//! * `GET  /`             — the embedded single-page frontend;
+//! * `GET  /api/health`   — liveness + worker count + routes;
+//! * `GET  /api/models`   — the serving model's card;
+//! * `POST /api/generate` — `{"ingredients": ["flour", …]}` →
+//!   `{"title", "ingredients", "instructions", "model", "latency_ms"}`.
+//!
+//! The API is generic over [`RecipeBackend`] so this crate stays free of
+//! model dependencies; the `ratatouille` crate plugs the real models in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::frontend;
+use crate::http::{HttpServer, Request, Response, StatusCode};
+use crate::json::Json;
+use crate::router::Router;
+use crate::worker::{PoolError, WorkerPool};
+
+/// Live serving counters, exposed at `GET /api/stats` (the observability
+/// the paper's dockerized deployment would get from its orchestrator).
+#[derive(Debug, Default)]
+pub struct ApiStats {
+    /// Total generate requests received.
+    pub requests: AtomicU64,
+    /// Requests that produced a recipe.
+    pub generated: AtomicU64,
+    /// Requests rejected for bad input.
+    pub bad_requests: AtomicU64,
+    /// Requests bounced by queue backpressure (503s).
+    pub rejected: AtomicU64,
+    /// Sum of model latency in microseconds (mean = sum / generated).
+    pub latency_us_sum: AtomicU64,
+}
+
+impl ApiStats {
+    fn to_json(&self, workers: usize) -> Json {
+        let generated = self.generated.load(Ordering::Relaxed);
+        let lat_sum = self.latency_us_sum.load(Ordering::Relaxed);
+        let mean_ms = if generated > 0 {
+            (lat_sum as f64 / generated as f64) / 1000.0
+        } else {
+            0.0
+        };
+        Json::object(vec![
+            ("workers", Json::Number(workers as f64)),
+            ("requests", Json::Number(self.requests.load(Ordering::Relaxed) as f64)),
+            ("generated", Json::Number(generated as f64)),
+            ("bad_requests", Json::Number(self.bad_requests.load(Ordering::Relaxed) as f64)),
+            ("rejected", Json::Number(self.rejected.load(Ordering::Relaxed) as f64)),
+            ("mean_latency_ms", Json::Number(mean_ms)),
+        ])
+    }
+}
+
+/// A structured recipe produced by a backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedRecipe {
+    /// Recipe title.
+    pub title: String,
+    /// Ingredient lines ("2 cups flour").
+    pub ingredients: Vec<String>,
+    /// Instruction steps.
+    pub instructions: Vec<String>,
+    /// Whether the generation passed structural validation.
+    pub well_formed: bool,
+}
+
+/// A recipe-generation backend replica. Each worker thread builds its own
+/// via [`RecipeBackendFactory`].
+pub trait RecipeBackend {
+    /// Generate a recipe from an ingredient list.
+    fn generate(&mut self, ingredients: &[String]) -> GeneratedRecipe;
+
+    /// Model card name ("GPT-2 medium").
+    fn model_name(&self) -> String;
+}
+
+/// Thread-safe factory producing per-worker backend replicas.
+pub type RecipeBackendFactory = Arc<dyn Fn(usize) -> Box<dyn RecipeBackend> + Send + Sync>;
+
+/// The assembled Ratatouille API server.
+pub struct ApiServer {
+    server: HttpServer,
+    model_name: String,
+    stats: Arc<ApiStats>,
+}
+
+struct GenJob {
+    ingredients: Vec<String>,
+}
+
+struct GenOut {
+    recipe: GeneratedRecipe,
+    model: String,
+    latency_ms: f64,
+}
+
+impl ApiServer {
+    /// Boot the full stack: worker pool + router + HTTP server.
+    ///
+    /// `addr` like `"127.0.0.1:0"`; `workers` is the replica count
+    /// (the paper's "replicate the docker" axis).
+    pub fn start(
+        addr: &str,
+        workers: usize,
+        queue_cap: usize,
+        factory: RecipeBackendFactory,
+    ) -> std::io::Result<ApiServer> {
+        // Sniff the model name from a throwaway replica.
+        let model_name = factory(usize::MAX).model_name();
+
+        let pool: Arc<WorkerPool<GenJob, GenOut>> = Arc::new(WorkerPool::new(
+            workers,
+            queue_cap,
+            move |wi| {
+                let mut backend = factory(wi);
+                move |job: GenJob| {
+                    let start = Instant::now();
+                    let recipe = backend.generate(&job.ingredients);
+                    GenOut {
+                        recipe,
+                        model: backend.model_name(),
+                        latency_ms: start.elapsed().as_secs_f64() * 1000.0,
+                    }
+                }
+            },
+        ));
+
+        let model_for_routes = model_name.clone();
+        let pool_for_gen = Arc::clone(&pool);
+        let worker_count = pool.workers();
+        let stats = Arc::new(ApiStats::default());
+        let stats_for_gen = Arc::clone(&stats);
+        let stats_for_route = Arc::clone(&stats);
+        let router = Router::new()
+            .route("GET", "/", |_req| Response::html(frontend::INDEX_HTML))
+            .route("GET", "/api/health", move |_req| {
+                let body = Json::object(vec![
+                    ("status", Json::string("ok")),
+                    ("workers", Json::Number(worker_count as f64)),
+                ]);
+                Response::json(StatusCode::Ok, body.to_string())
+            })
+            .route("GET", "/api/models", move |_req| {
+                let body = Json::object(vec![
+                    ("models", Json::string_array(&[model_for_routes.as_str()])),
+                ]);
+                Response::json(StatusCode::Ok, body.to_string())
+            })
+            .route("GET", "/api/stats", move |_req| {
+                Response::json(
+                    StatusCode::Ok,
+                    stats_for_route.to_json(worker_count).to_string(),
+                )
+            })
+            .route("POST", "/api/generate", move |req| {
+                handle_generate(req, &pool_for_gen, &stats_for_gen)
+            });
+
+        let server = HttpServer::start(addr, move |req| router.dispatch(&req))?;
+        Ok(ApiServer {
+            server,
+            model_name,
+            stats,
+        })
+    }
+
+    /// Live counters (also served at `GET /api/stats`).
+    pub fn stats(&self) -> &ApiStats {
+        &self.stats
+    }
+
+    /// Bound socket address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// The model this server serves.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Graceful shutdown.
+    pub fn stop(self) {
+        self.server.stop();
+    }
+}
+
+fn handle_generate(
+    req: &Request,
+    pool: &WorkerPool<GenJob, GenOut>,
+    stats: &ApiStats,
+) -> Response {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    let parsed = match Json::parse(&req.body_str()) {
+        Ok(v) => v,
+        Err(e) => {
+            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(
+                StatusCode::BadRequest,
+                Json::object(vec![("error", Json::string(format!("invalid json: {e}")))])
+                    .to_string(),
+            );
+        }
+    };
+    let ingredients = parsed
+        .get("ingredients")
+        .map(Json::as_string_vec)
+        .unwrap_or_default();
+    if ingredients.is_empty() {
+        stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            StatusCode::BadRequest,
+            Json::object(vec![(
+                "error",
+                Json::string("`ingredients` must be a non-empty array of strings"),
+            )])
+            .to_string(),
+        );
+    }
+    match pool.execute(GenJob { ingredients }) {
+        Ok(out) => {
+            stats.generated.fetch_add(1, Ordering::Relaxed);
+            stats
+                .latency_us_sum
+                .fetch_add((out.latency_ms * 1000.0) as u64, Ordering::Relaxed);
+            let body = Json::object(vec![
+                ("title", Json::string(out.recipe.title)),
+                ("ingredients", Json::string_array(&out.recipe.ingredients)),
+                ("instructions", Json::string_array(&out.recipe.instructions)),
+                ("well_formed", Json::Bool(out.recipe.well_formed)),
+                ("model", Json::string(out.model)),
+                ("latency_ms", Json::Number(out.latency_ms)),
+            ]);
+            Response::json(StatusCode::Ok, body.to_string())
+        }
+        Err(PoolError::QueueFull) => {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                StatusCode::ServiceUnavailable,
+                Json::object(vec![("error", Json::string("server overloaded, retry"))])
+                    .to_string(),
+            )
+        }
+        Err(e) => Response::json(
+            StatusCode::InternalServerError,
+            Json::object(vec![("error", Json::string(e.to_string()))]).to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    /// A deterministic toy backend for API tests.
+    struct EchoBackend;
+
+    impl RecipeBackend for EchoBackend {
+        fn generate(&mut self, ingredients: &[String]) -> GeneratedRecipe {
+            GeneratedRecipe {
+                title: format!("{} delight", ingredients[0]),
+                ingredients: ingredients.iter().map(|i| format!("1 cup {i}")).collect(),
+                instructions: vec![format!("mix the {}", ingredients.join(" and "))],
+                well_formed: true,
+            }
+        }
+
+        fn model_name(&self) -> String {
+            "echo-model".into()
+        }
+    }
+
+    fn boot() -> ApiServer {
+        ApiServer::start(
+            "127.0.0.1:0",
+            2,
+            8,
+            Arc::new(|_| Box::new(EchoBackend) as Box<dyn RecipeBackend>),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn health_and_models() {
+        let srv = boot();
+        let client = HttpClient::new(srv.addr());
+        let (status, body) = client.get("/api/health").unwrap();
+        assert_eq!(status, 200);
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("workers").unwrap().as_f64(), Some(2.0));
+
+        let (status, body) = client.get("/api/models").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("echo-model"));
+        srv.stop();
+    }
+
+    #[test]
+    fn generate_roundtrip() {
+        let srv = boot();
+        let client = HttpClient::new(srv.addr());
+        let (status, body) = client
+            .post_json("/api/generate", r#"{"ingredients":["flour","water"]}"#)
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("flour delight"));
+        assert_eq!(
+            v.get("ingredients").unwrap().as_string_vec(),
+            vec!["1 cup flour", "1 cup water"]
+        );
+        assert_eq!(v.get("model").unwrap().as_str(), Some("echo-model"));
+        assert!(v.get("latency_ms").unwrap().as_f64().unwrap() >= 0.0);
+        srv.stop();
+    }
+
+    #[test]
+    fn generate_rejects_bad_input() {
+        let srv = boot();
+        let client = HttpClient::new(srv.addr());
+        let (status, _) = client.post_json("/api/generate", "not json").unwrap();
+        assert_eq!(status, 400);
+        let (status, body) = client.post_json("/api/generate", r#"{}"#).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("ingredients"));
+        let (status, _) = client
+            .post_json("/api/generate", r#"{"ingredients":[]}"#)
+            .unwrap();
+        assert_eq!(status, 400);
+        srv.stop();
+    }
+
+    #[test]
+    fn frontend_served_at_root() {
+        let srv = boot();
+        let client = HttpClient::new(srv.addr());
+        let (status, body) = client.get("/").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("<html"), "frontend missing");
+        assert!(body.contains("Ratatouille"));
+        srv.stop();
+    }
+
+    #[test]
+    fn stats_counters_track_requests() {
+        let srv = boot();
+        let client = HttpClient::new(srv.addr());
+        client
+            .post_json("/api/generate", r#"{"ingredients":["flour"]}"#)
+            .unwrap();
+        client.post_json("/api/generate", "broken").unwrap();
+        let (status, body) = client.get("/api/stats").unwrap();
+        assert_eq!(status, 200);
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("requests").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("generated").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("bad_requests").unwrap().as_f64(), Some(1.0));
+        assert!(v.get("mean_latency_ms").unwrap().as_f64().unwrap() >= 0.0);
+        srv.stop();
+    }
+
+    #[test]
+    fn unknown_route_404() {
+        let srv = boot();
+        let client = HttpClient::new(srv.addr());
+        let (status, _) = client.get("/nope").unwrap();
+        assert_eq!(status, 404);
+        srv.stop();
+    }
+}

@@ -1,0 +1,91 @@
+//! A tiny blocking HTTP/1.1 client for tests, examples and the CLI.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client bound to one server address.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `addr` with a 30 s timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `GET path` → `(status, body)`.
+    pub fn get(&self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request(&format!(
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        ))
+    }
+
+    /// `POST path` with a JSON body → `(status, body)`.
+    pub fn post_json(&self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request(&format!(
+            "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.addr,
+            body.len(),
+            body
+        ))
+    }
+
+    fn request(&self, raw: &str) -> std::io::Result<(u16, String)> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut stream = stream;
+        stream.write_all(raw.as_bytes())?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        parse_response(&response)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
+    }
+}
+
+/// Split a raw HTTP response into `(status, body)`.
+pub fn parse_response(raw: &str) -> Option<(u16, String)> {
+    let status: u16 = raw.split(' ').nth(1)?.parse().ok()?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string())?;
+    Some((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{HttpServer, Response, StatusCode};
+
+    #[test]
+    fn parse_response_extracts_status_and_body() {
+        let raw = "HTTP/1.1 404 Not Found\r\nContent-Length: 3\r\n\r\nnop";
+        assert_eq!(parse_response(raw), Some((404, "nop".to_string())));
+        assert_eq!(parse_response("garbage"), None);
+    }
+
+    #[test]
+    fn client_server_roundtrip() {
+        let server = HttpServer::start("127.0.0.1:0", |req| {
+            Response::text(StatusCode::Ok, format!("{} {}", req.method, req.body_str()))
+        })
+        .unwrap();
+        let client = HttpClient::new(server.addr());
+        let (status, body) = client.post_json("/x", r#"{"a":1}"#).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"POST {"a":1}"#);
+        server.stop();
+    }
+}

@@ -1,0 +1,135 @@
+//! The embedded single-page frontend (Fig. 4 of the paper: "Website
+//! interface to choose ingredients and generate recipe").
+//!
+//! The paper's deployment uses a ReactJS frontend decoupled from a Flask
+//! backend; ours is a dependency-free HTML/JS page speaking to the same
+//! `POST /api/generate` contract, embedded in the binary so the whole
+//! application ships as one executable.
+
+/// The SPA, served at `GET /`.
+pub const INDEX_HTML: &str = r#"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>Ratatouille — Novel Recipe Generation</title>
+<style>
+  :root { --accent: #c0392b; --bg: #fdf6ee; --card: #ffffff; }
+  body { font-family: Georgia, serif; background: var(--bg); margin: 0; color: #2c2c2c; }
+  header { background: var(--accent); color: white; padding: 1.2rem 2rem; }
+  header h1 { margin: 0; font-size: 1.6rem; }
+  header p { margin: 0.3rem 0 0; opacity: 0.9; font-size: 0.95rem; }
+  main { max-width: 760px; margin: 2rem auto; padding: 0 1rem; }
+  .card { background: var(--card); border-radius: 10px; padding: 1.5rem;
+          box-shadow: 0 2px 8px rgba(0,0,0,0.08); margin-bottom: 1.5rem; }
+  .chips { display: flex; flex-wrap: wrap; gap: 0.5rem; margin: 0.8rem 0; }
+  .chip { background: #f3e3d3; border-radius: 16px; padding: 0.25rem 0.8rem;
+          cursor: pointer; user-select: none; border: 1px solid #e0c9ae; }
+  .chip.selected { background: var(--accent); color: white; border-color: var(--accent); }
+  input[type=text] { width: 60%; padding: 0.5rem; border: 1px solid #ccc; border-radius: 6px; }
+  button { background: var(--accent); color: white; border: 0; border-radius: 6px;
+           padding: 0.6rem 1.4rem; font-size: 1rem; cursor: pointer; }
+  button:disabled { opacity: 0.5; cursor: wait; }
+  #result h2 { color: var(--accent); margin-top: 0; text-transform: capitalize; }
+  #result ul, #result ol { line-height: 1.6; }
+  .meta { color: #777; font-size: 0.85rem; }
+  .error { color: #b00020; }
+</style>
+</head>
+<body>
+<header>
+  <h1>Ratatouille</h1>
+  <p>A tool for novel recipe generation — pick ingredients, get a recipe.</p>
+</header>
+<main>
+  <div class="card">
+    <strong>Choose ingredients</strong>
+    <div class="chips" id="chips"></div>
+    <input type="text" id="custom" placeholder="add your own (e.g. saffron)">
+    <button id="add">Add</button>
+    <p></p>
+    <button id="generate">Generate recipe</button>
+    <span class="meta" id="status"></span>
+  </div>
+  <div class="card" id="result" hidden>
+    <h2 id="title"></h2>
+    <strong>Ingredients</strong>
+    <ul id="ingredients"></ul>
+    <strong>Instructions</strong>
+    <ol id="instructions"></ol>
+    <p class="meta" id="modelinfo"></p>
+  </div>
+</main>
+<script>
+const STARTERS = ["chicken","onion","garlic","tomato","rice","flour","butter",
+  "egg","potato","carrot","ginger","soy sauce","lentils","basil","lemon"];
+const selected = new Set();
+const chips = document.getElementById("chips");
+function addChip(name) {
+  const el = document.createElement("span");
+  el.className = "chip"; el.textContent = name;
+  el.onclick = () => {
+    if (selected.has(name)) { selected.delete(name); el.classList.remove("selected"); }
+    else { selected.add(name); el.classList.add("selected"); }
+  };
+  chips.appendChild(el);
+}
+STARTERS.forEach(addChip);
+document.getElementById("add").onclick = () => {
+  const v = document.getElementById("custom").value.trim().toLowerCase();
+  if (v) { addChip(v); document.getElementById("custom").value = ""; }
+};
+document.getElementById("generate").onclick = async () => {
+  const status = document.getElementById("status");
+  const btn = document.getElementById("generate");
+  if (selected.size === 0) { status.textContent = "pick at least one ingredient"; return; }
+  btn.disabled = true; status.textContent = "cooking…";
+  try {
+    const res = await fetch("/api/generate", {
+      method: "POST",
+      headers: {"Content-Type": "application/json"},
+      body: JSON.stringify({ingredients: [...selected]})
+    });
+    const data = await res.json();
+    if (!res.ok) throw new Error(data.error || res.status);
+    document.getElementById("result").hidden = false;
+    document.getElementById("title").textContent = data.title;
+    const ul = document.getElementById("ingredients"); ul.innerHTML = "";
+    data.ingredients.forEach(i => { const li = document.createElement("li"); li.textContent = i; ul.appendChild(li); });
+    const ol = document.getElementById("instructions"); ol.innerHTML = "";
+    data.instructions.forEach(s => { const li = document.createElement("li"); li.textContent = s; ol.appendChild(li); });
+    document.getElementById("modelinfo").textContent =
+      `model: ${data.model} · ${data.latency_ms.toFixed(0)} ms · ${data.well_formed ? "well-formed" : "needs review"}`;
+    status.textContent = "";
+  } catch (e) {
+    status.textContent = "error: " + e.message;
+    status.className = "error";
+  } finally {
+    btn.disabled = false;
+  }
+};
+</script>
+</body>
+</html>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_mentions_required_elements() {
+        assert!(INDEX_HTML.contains("Ratatouille"));
+        assert!(INDEX_HTML.contains("/api/generate"));
+        assert!(INDEX_HTML.contains("ingredients"));
+        assert!(INDEX_HTML.contains("<script>"));
+    }
+
+    #[test]
+    fn frontend_is_self_contained() {
+        // no external asset loads — ships as one binary
+        assert!(!INDEX_HTML.contains("http://"));
+        assert!(!INDEX_HTML.contains("https://"));
+        assert!(!INDEX_HTML.contains("src=\""));
+    }
+}

@@ -1,0 +1,444 @@
+//! A from-scratch HTTP/1.1 server on `std::net::TcpListener`.
+//!
+//! Deliberately minimal but correct for the API's needs: request-line +
+//! header parsing with size limits, Content-Length bodies, one response
+//! per connection (`Connection: close`), a bounded acceptor thread, and
+//! graceful shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum request head size (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum request body size.
+const MAX_BODY: usize = 1024 * 1024;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// An HTTP status code (the subset the API uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// 200
+    Ok,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 413
+    PayloadTooLarge,
+    /// 500
+    InternalServerError,
+    /// 503
+    ServiceUnavailable,
+}
+
+impl StatusCode {
+    /// Numeric code.
+    pub fn code(&self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::BadRequest => 400,
+            StatusCode::NotFound => 404,
+            StatusCode::MethodNotAllowed => 405,
+            StatusCode::PayloadTooLarge => 413,
+            StatusCode::InternalServerError => 500,
+            StatusCode::ServiceUnavailable => 503,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::MethodNotAllowed => "Method Not Allowed",
+            StatusCode::PayloadTooLarge => "Payload Too Large",
+            StatusCode::InternalServerError => "Internal Server Error",
+            StatusCode::ServiceUnavailable => "Service Unavailable",
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb, upper-case ("GET", "POST").
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Raw query string (without `?`), possibly empty.
+    pub query: String,
+    /// Headers, keys lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Header lookup (case-insensitive key).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Content-Type header value.
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// JSON response.
+    pub fn json(status: StatusCode, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// HTML response.
+    pub fn html(body: impl Into<String>) -> Response {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "text/html; charset=utf-8".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Plain-text response.
+    pub fn text(status: StatusCode, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Serialize to wire format. Responses always carry permissive CORS
+    /// headers: the paper's deployment decouples the frontend from the
+    /// backend ("frontend is completely decoupled from the backend using
+    /// microservices architecture"), so the API must answer cross-origin
+    /// browsers.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\
+             Access-Control-Allow-Origin: *\r\n\
+             Access-Control-Allow-Methods: GET, POST, OPTIONS\r\n\
+             Access-Control-Allow-Headers: Content-Type\r\n\r\n",
+            self.status.code(),
+            self.status.reason(),
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// An empty 200 for CORS preflight.
+    pub fn preflight() -> Response {
+        Response::text(StatusCode::Ok, "")
+    }
+}
+
+/// Parse one request from a buffered stream.
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read error: {e}"))?;
+    head_bytes += line.len();
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Err("empty request line".into());
+    }
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing http version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+    if method.is_empty() || !method.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Err("bad method".into());
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let mut hline = String::new();
+        reader
+            .read_line(&mut hline)
+            .map_err(|e| format!("header read error: {e}"))?;
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD {
+            return Err("request head too large".into());
+        }
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        let (k, v) = hline.split_once(':').ok_or("malformed header")?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().map_err(|_| "bad content-length".to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err("body too large".into());
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("body read error: {e}"))?;
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// A running HTTP server. Handlers run on the acceptor's handler threads;
+/// one response per connection.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// `handler` on a background acceptor thread until [`HttpServer::stop`].
+    pub fn start<F>(addr: &str, handler: F) -> std::io::Result<HttpServer>
+    where
+        F: Fn(Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let handler = Arc::new(handler);
+        let acceptor = std::thread::Builder::new()
+            .name("http-acceptor".into())
+            .spawn(move || {
+                let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                while !shutdown2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let h = Arc::clone(&handler);
+                            workers.push(std::thread::spawn(move || {
+                                handle_connection(stream, &*h);
+                            }));
+                            workers.retain(|w| !w.is_finished());
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })
+            .expect("spawn acceptor");
+        Ok(HttpServer {
+            addr: local,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown and join the acceptor.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, handler: &(dyn Fn(Request) -> Response + Send + Sync)) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let response = match parse_request(&mut reader) {
+        Ok(req) => handler(req),
+        Err(e) => Response::text(StatusCode::BadRequest, format!("bad request: {e}")),
+    };
+    let _ = writer.write_all(&response.to_bytes());
+    let _ = writer.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Cursor, Read};
+
+    fn parse(s: &str) -> Result<Request, String> {
+        parse_request(&mut Cursor::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get() {
+        let r = parse("GET /api/health?x=1 HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/api/health");
+        assert_eq!(r.query, "x=1");
+        assert_eq!(r.header("host"), Some("localhost"));
+        assert_eq!(r.header("HOST"), Some("localhost"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body() {
+        let body = r#"{"a":1}"#;
+        let raw = format!(
+            "POST /api/generate HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let r = parse(&raw).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body_str(), body);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("GARBAGE\r\n\r\n").is_err());
+        assert!(parse("GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nBadHeader\r\n\r\n").is_err());
+        assert!(parse("G@T /x HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn truncated_body_is_error() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(parse(raw).is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let r = Response::json(StatusCode::Ok, r#"{"ok":true}"#);
+        let s = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Type: application/json\r\n"));
+        assert!(s.contains("Content-Length: 11\r\n"));
+        assert!(s.ends_with(r#"{"ok":true}"#));
+    }
+
+    #[test]
+    fn server_roundtrip() {
+        let server = HttpServer::start("127.0.0.1:0", |req| {
+            Response::text(StatusCode::Ok, format!("echo {}", req.path))
+        })
+        .unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /ping HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.contains("200 OK"));
+        assert!(buf.ends_with("echo /ping"));
+        server.stop();
+    }
+
+    #[test]
+    fn server_handles_concurrent_connections() {
+        let server = HttpServer::start("127.0.0.1:0", |_req| {
+            std::thread::sleep(Duration::from_millis(20));
+            Response::text(StatusCode::Ok, "ok")
+        })
+        .unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+                    let mut buf = String::new();
+                    s.read_to_string(&mut buf).unwrap();
+                    assert!(buf.contains("200 OK"));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_not_hang() {
+        let server =
+            HttpServer::start("127.0.0.1:0", |_req| Response::text(StatusCode::Ok, "ok")).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.contains("400"), "{buf}");
+        server.stop();
+    }
+}

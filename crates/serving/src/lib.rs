@@ -1,0 +1,36 @@
+//! # ratatouille-serving
+//!
+//! The Ratatouille web application (§VI of the paper), rebuilt in Rust:
+//!
+//! * [`http`] — an HTTP/1.1 server on `std::net::TcpListener`, written
+//!   from scratch (no framework), with keep-alive-free request/response
+//!   handling and graceful shutdown;
+//! * [`json`] — a hand-rolled JSON parser/serializer (the offline crate
+//!   whitelist has `serde` but not `serde_json`; a recipe API needs JSON);
+//! * [`router`] — method + path routing;
+//! * [`worker`] — the model worker pool. The paper decouples the React
+//!   frontend from the Flask backend with "microservices … if load
+//!   increases then developer only need to replicate the docker"; here
+//!   each worker thread owns a full model replica and requests flow over
+//!   a bounded crossbeam channel, so throughput scales by adding workers
+//!   (benchmarked in `serving_throughput`);
+//! * [`api`] — the generate/health/models endpoints over a backend trait;
+//! * [`frontend`] — the embedded single-page UI (Fig. 4);
+//! * [`client`] — a tiny blocking HTTP client for tests, examples and the
+//!   CLI.
+#![warn(missing_docs)]
+
+
+pub mod api;
+pub mod client;
+pub mod frontend;
+pub mod http;
+pub mod json;
+pub mod router;
+pub mod worker;
+
+pub use api::{ApiServer, ApiStats, GeneratedRecipe, RecipeBackend};
+pub use http::{HttpServer, Request, Response, StatusCode};
+pub use json::Json;
+pub use router::Router;
+pub use worker::WorkerPool;

@@ -1,0 +1,120 @@
+//! Method + path routing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::http::{Request, Response, StatusCode};
+
+type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Routes `(METHOD, /path)` pairs to handlers. Unknown paths get 404;
+/// known paths with the wrong method get 405.
+#[derive(Clone, Default)]
+pub struct Router {
+    routes: HashMap<(String, String), Handler>,
+    paths: Vec<String>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a handler.
+    pub fn route<F>(mut self, method: &str, path: &str, handler: F) -> Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.routes.insert(
+            (method.to_ascii_uppercase(), path.to_string()),
+            Arc::new(handler),
+        );
+        if !self.paths.contains(&path.to_string()) {
+            self.paths.push(path.to_string());
+        }
+        self
+    }
+
+    /// Dispatch a request. `OPTIONS` on any registered path answers the
+    /// CORS preflight (the decoupled-frontend contract).
+    pub fn dispatch(&self, req: &Request) -> Response {
+        if let Some(h) = self.routes.get(&(req.method.clone(), req.path.clone())) {
+            return h(req);
+        }
+        if self.paths.contains(&req.path) {
+            if req.method == "OPTIONS" {
+                return Response::preflight();
+            }
+            return Response::text(StatusCode::MethodNotAllowed, "method not allowed");
+        }
+        Response::text(StatusCode::NotFound, "not found")
+    }
+
+    /// Registered paths (for the health endpoint's route listing).
+    pub fn paths(&self) -> &[String] {
+        &self.paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            query: String::new(),
+            headers: vec![],
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn dispatches_by_method_and_path() {
+        let r = Router::new()
+            .route("GET", "/a", |_| Response::text(StatusCode::Ok, "get-a"))
+            .route("POST", "/a", |_| Response::text(StatusCode::Ok, "post-a"));
+        assert_eq!(r.dispatch(&req("GET", "/a")).body, b"get-a");
+        assert_eq!(r.dispatch(&req("POST", "/a")).body, b"post-a");
+    }
+
+    #[test]
+    fn unknown_path_404() {
+        let r = Router::new().route("GET", "/a", |_| Response::text(StatusCode::Ok, "x"));
+        assert_eq!(r.dispatch(&req("GET", "/zzz")).status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn wrong_method_405() {
+        let r = Router::new().route("GET", "/a", |_| Response::text(StatusCode::Ok, "x"));
+        assert_eq!(
+            r.dispatch(&req("DELETE", "/a")).status,
+            StatusCode::MethodNotAllowed
+        );
+    }
+
+    #[test]
+    fn options_preflight_on_registered_paths() {
+        let r = Router::new().route("POST", "/api/generate", |_| {
+            Response::text(StatusCode::Ok, "x")
+        });
+        let resp = r.dispatch(&req("OPTIONS", "/api/generate"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        let wire = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(wire.contains("Access-Control-Allow-Origin: *"));
+        assert!(wire.contains("Access-Control-Allow-Methods"));
+        // unknown path still 404s even for OPTIONS
+        assert_eq!(
+            r.dispatch(&req("OPTIONS", "/nope")).status,
+            StatusCode::NotFound
+        );
+    }
+
+    #[test]
+    fn method_is_case_insensitive_at_registration() {
+        let r = Router::new().route("get", "/a", |_| Response::text(StatusCode::Ok, "x"));
+        assert_eq!(r.dispatch(&req("GET", "/a")).status, StatusCode::Ok);
+    }
+}

@@ -1,0 +1,244 @@
+//! The model worker pool.
+//!
+//! The paper scales its dockerized backend by replication ("if load
+//! increase then developer only need to replicate the docker"). The Rust
+//! equivalent: each worker thread owns a complete backend replica
+//! (models are not `Send`-shareable — they hold `Rc` autograd handles —
+//! so replication is also the natural ownership story), and requests flow
+//! through a bounded crossbeam channel. Backpressure is explicit: a full
+//! queue rejects immediately (the API maps it to 503), and a panicking
+//! replica is rebuilt from the factory without taking down the pool.
+
+use std::panic::AssertUnwindSafe;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// Pool submission/communication errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The bounded queue is full (backpressure).
+    QueueFull,
+    /// The pool is shut down or the worker died before responding.
+    Disconnected,
+    /// The worker panicked while processing this job.
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::QueueFull => write!(f, "worker queue full"),
+            PoolError::Disconnected => write!(f, "worker pool disconnected"),
+            PoolError::WorkerPanicked(m) => write!(f, "worker panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+type Job<J, R> = (J, Sender<Result<R, PoolError>>);
+
+/// A fixed-size pool of worker threads, each owning a replica built by
+/// the factory.
+pub struct WorkerPool<J: Send + 'static, R: Send + 'static> {
+    tx: Option<Sender<Job<J, R>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
+    /// Spawn `workers` threads. `factory(worker_index)` runs *inside*
+    /// each thread to build its replica — a `FnMut(J) -> R` handler.
+    /// `queue_cap` bounds the shared request queue.
+    pub fn new<F, W>(workers: usize, queue_cap: usize, factory: F) -> Self
+    where
+        F: Fn(usize) -> W + Send + Sync + Clone + 'static,
+        W: FnMut(J) -> R + 'static,
+    {
+        assert!(workers > 0, "need at least one worker");
+        let (tx, rx) = bounded::<Job<J, R>>(queue_cap.max(1));
+        let mut handles = Vec::with_capacity(workers);
+        for wi in 0..workers {
+            let rx: Receiver<Job<J, R>> = rx.clone();
+            let factory = factory.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("model-worker-{wi}"))
+                    .spawn(move || {
+                        let mut replica = factory(wi);
+                        while let Ok((job, reply)) = rx.recv() {
+                            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                replica(job)
+                            }));
+                            match result {
+                                Ok(r) => {
+                                    let _ = reply.send(Ok(r));
+                                }
+                                Err(payload) => {
+                                    let msg = panic_message(&*payload);
+                                    let _ = reply.send(Err(PoolError::WorkerPanicked(msg)));
+                                    // rebuild the replica after a panic
+                                    replica = factory(wi);
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker replicas.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submit and wait. Rejects immediately when the queue is full.
+    pub fn execute(&self, job: J) -> Result<R, PoolError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let tx = self.tx.as_ref().ok_or(PoolError::Disconnected)?;
+        tx.try_send((job, reply_tx)).map_err(|e| match e {
+            crossbeam::channel::TrySendError::Full(_) => PoolError::QueueFull,
+            crossbeam::channel::TrySendError::Disconnected(_) => PoolError::Disconnected,
+        })?;
+        reply_rx.recv().map_err(|_| PoolError::Disconnected)?
+    }
+
+    /// Drain and join all workers.
+    pub fn shutdown(mut self) {
+        self.tx.take(); // close the channel; workers exit their loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<J: Send + 'static, R: Send + 'static> Drop for WorkerPool<J, R> {
+    fn drop(&mut self) {
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_jobs() {
+        let pool: WorkerPool<u32, u32> = WorkerPool::new(2, 8, |_| |x: u32| x * 2);
+        assert_eq!(pool.execute(21), Ok(42));
+        assert_eq!(pool.execute(5), Ok(10));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn factory_runs_once_per_worker() {
+        let built = Arc::new(AtomicUsize::new(0));
+        let b2 = Arc::clone(&built);
+        let pool: WorkerPool<(), ()> = WorkerPool::new(3, 4, move |_| {
+            b2.fetch_add(1, Ordering::SeqCst);
+            |_: ()| {}
+        });
+        // give threads a moment to construct replicas
+        for _ in 0..3 {
+            pool.execute(()).unwrap();
+        }
+        assert_eq!(built.load(Ordering::SeqCst), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn parallel_throughput() {
+        // 4 workers with 20ms jobs: 8 jobs should take ~40ms, not ~160ms.
+        let pool: Arc<WorkerPool<(), ()>> = Arc::new(WorkerPool::new(4, 16, |_| {
+            |_: ()| std::thread::sleep(std::time::Duration::from_millis(20))
+        }));
+        let start = std::time::Instant::now();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                std::thread::spawn(move || p.execute(()).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(120),
+            "took {elapsed:?} — pool not parallel"
+        );
+    }
+
+    #[test]
+    fn panicking_job_reported_and_pool_survives() {
+        let pool: WorkerPool<bool, u32> = WorkerPool::new(1, 4, |_| {
+            |explode: bool| {
+                if explode {
+                    panic!("kaboom");
+                }
+                7
+            }
+        });
+        match pool.execute(true) {
+            Err(PoolError::WorkerPanicked(msg)) => assert!(msg.contains("kaboom")),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        // replica was rebuilt; pool still works
+        assert_eq!(pool.execute(false), Ok(7));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn queue_full_rejects() {
+        // 1 worker busy for a while + tiny queue ⇒ new submissions bounce.
+        let pool: Arc<WorkerPool<(), ()>> = Arc::new(WorkerPool::new(1, 1, |_| {
+            |_: ()| std::thread::sleep(std::time::Duration::from_millis(150))
+        }));
+        let p1 = Arc::clone(&pool);
+        let bg = std::thread::spawn(move || {
+            let _ = p1.execute(()); // occupies the worker
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let p2 = Arc::clone(&pool);
+        let bg2 = std::thread::spawn(move || {
+            let _ = p2.execute(()); // occupies the queue slot
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let res = pool.execute(());
+        assert_eq!(res, Err(PoolError::QueueFull));
+        bg.join().unwrap();
+        bg2.join().unwrap();
+    }
+
+    #[test]
+    fn worker_index_passed_to_factory() {
+        let pool: WorkerPool<(), usize> = WorkerPool::new(2, 4, |wi| move |_: ()| wi);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(pool.execute(()).unwrap());
+        }
+        assert!(seen.iter().all(|&w| w < 2));
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,55 @@
+//! Property tests for the serving substrate: JSON totality and HTTP
+//! parser robustness (a public-facing parser must never panic).
+
+use proptest::prelude::*;
+use ratatouille_serving::http::parse_request;
+use ratatouille_serving::json::Json;
+use std::io::Cursor;
+
+proptest! {
+    /// The JSON parser never panics on arbitrary input — it returns
+    /// Ok or Err, totally.
+    #[test]
+    fn json_parser_is_total(input in "\\PC{0,200}") {
+        let _ = Json::parse(&input);
+    }
+
+    /// Print∘parse is the identity on anything the parser accepts.
+    #[test]
+    fn json_fixpoint(input in "[\\x20-\\x7e]{0,80}") {
+        if let Ok(v) = Json::parse(&input) {
+            let printed = v.to_string();
+            let again = Json::parse(&printed).expect("printed JSON must parse");
+            prop_assert_eq!(again, v);
+        }
+    }
+
+    /// JSON numbers round-trip within float precision.
+    #[test]
+    fn json_numbers_roundtrip(n in -1e12f64..1e12f64) {
+        let v = Json::Number(n);
+        let back = Json::parse(&v.to_string()).unwrap();
+        let m = back.as_f64().unwrap();
+        prop_assert!((m - n).abs() <= 1e-6 * (1.0 + n.abs()));
+    }
+
+    /// The HTTP request parser never panics on arbitrary bytes.
+    #[test]
+    fn http_parser_is_total(input in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = parse_request(&mut Cursor::new(input));
+    }
+
+    /// Well-formed requests always parse, whatever the path/body content.
+    #[test]
+    fn wellformed_requests_parse(path in "/[a-z0-9/]{0,20}", body in "[a-z ]{0,50}") {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\nX-Test: 1\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = parse_request(&mut Cursor::new(raw.into_bytes())).expect("must parse");
+        prop_assert_eq!(&req.path, &path);
+        prop_assert_eq!(req.body_str(), body);
+        prop_assert_eq!(req.header("x-test"), Some("1"));
+    }
+}

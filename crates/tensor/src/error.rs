@@ -1,0 +1,60 @@
+//! Error type for fallible tensor operations.
+
+use std::fmt;
+
+/// Errors returned by fallible tensor APIs (construction from untrusted
+/// data, deserialization, …).
+///
+/// Shape mismatches inside hot-path ops are treated as programming errors
+/// and panic instead; see the crate docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A shape with a zero-sized or overflowing dimension product.
+    InvalidShape(String),
+    /// Two shapes that were required to be compatible are not.
+    Incompatible {
+        /// Human-readable description of the incompatibility.
+        context: String,
+    },
+    /// Checkpoint / serialized payload is malformed.
+    Corrupt(String),
+    /// An I/O error while reading or writing a checkpoint.
+    Io(String),
+    /// A named tensor was not found in a checkpoint.
+    MissingTensor(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::InvalidShape(s) => write!(f, "invalid shape: {s}"),
+            TensorError::Incompatible { context } => {
+                write!(f, "incompatible shapes: {context}")
+            }
+            TensorError::Corrupt(s) => write!(f, "corrupt tensor payload: {s}"),
+            TensorError::Io(s) => write!(f, "tensor i/o error: {s}"),
+            TensorError::MissingTensor(name) => {
+                write!(f, "tensor `{name}` not found in checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e.to_string())
+    }
+}

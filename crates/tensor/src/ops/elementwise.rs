@@ -1,0 +1,239 @@
+//! Elementwise unary and binary kernels.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Apply `f` to every element.
+pub fn map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let data = t.data().iter().map(|&v| f(v)).collect();
+    Tensor::from_parts(t.shape().clone(), data)
+}
+
+/// Elementwise binary op on same-shape tensors.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "zip: shape mismatch {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Tensor::from_parts(a.shape().clone(), data)
+}
+
+/// `a + b` (same shape).
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    zip(a, b, |x, y| x + y)
+}
+
+/// `a - b` (same shape).
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    zip(a, b, |x, y| x - y)
+}
+
+/// `a * b` elementwise (same shape).
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    zip(a, b, |x, y| x * y)
+}
+
+/// `a / b` elementwise (same shape).
+pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
+    zip(a, b, |x, y| x / y)
+}
+
+/// `a + b` where `b`'s shape is a trailing suffix of `a`'s
+/// (e.g. `[B,T,D] + [D]`, `[N,D] + [D]`).
+///
+/// # Panics
+/// Panics if `b` is not a trailing broadcast of `a`.
+pub fn add_broadcast(a: &Tensor, b: &Tensor) -> Tensor {
+    broadcast_zip(a, b, |x, y| x + y)
+}
+
+/// `a * b` with trailing broadcast (see [`add_broadcast`]).
+pub fn mul_broadcast(a: &Tensor, b: &Tensor) -> Tensor {
+    broadcast_zip(a, b, |x, y| x * y)
+}
+
+/// Generic trailing-broadcast binary op.
+pub fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert!(
+        a.shape().is_trailing_broadcast_of(b.shape()),
+        "broadcast_zip: {} cannot broadcast over {}",
+        b.shape(),
+        a.shape()
+    );
+    let bn = b.numel().max(1);
+    let bd = b.data();
+    let data = a
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| f(x, bd[i % bn]))
+        .collect();
+    Tensor::from_parts(a.shape().clone(), data)
+}
+
+/// Multiply by a scalar.
+pub fn scale(t: &Tensor, s: f32) -> Tensor {
+    map(t, |v| v * s)
+}
+
+/// Add a scalar.
+pub fn add_scalar(t: &Tensor, s: f32) -> Tensor {
+    map(t, |v| v + s)
+}
+
+/// Negation.
+pub fn neg(t: &Tensor) -> Tensor {
+    map(t, |v| -v)
+}
+
+/// Natural exponential.
+pub fn exp(t: &Tensor) -> Tensor {
+    map(t, f32::exp)
+}
+
+/// Natural log.
+pub fn ln(t: &Tensor) -> Tensor {
+    map(t, f32::ln)
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(t: &Tensor) -> Tensor {
+    map(t, f32::tanh)
+}
+
+/// Logistic sigmoid `1 / (1 + e^-x)`.
+pub fn sigmoid(t: &Tensor) -> Tensor {
+    map(t, |v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Rectified linear unit.
+pub fn relu(t: &Tensor) -> Tensor {
+    map(t, |v| v.max(0.0))
+}
+
+/// GELU with the tanh approximation used by GPT-2.
+pub fn gelu(t: &Tensor) -> Tensor {
+    map(t, gelu_scalar)
+}
+
+/// GPT-2's tanh-approximate GELU on a single value.
+#[inline]
+pub fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu_scalar`] with respect to its input.
+#[inline]
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = 0.044_715 * x * x * x;
+    let u = C * (x + x3);
+    let t = u.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+/// Square root.
+pub fn sqrt(t: &Tensor) -> Tensor {
+    map(t, f32::sqrt)
+}
+
+/// Elementwise square.
+pub fn square(t: &Tensor) -> Tensor {
+    map(t, |v| v * v)
+}
+
+/// Build a shape-checked tensor of the same shape as `like` from raw data.
+pub fn like(like: &Tensor, data: Vec<f32>) -> Tensor {
+    assert_eq!(like.numel(), data.len());
+    Tensor::from_parts(Shape(like.dims().to_vec()), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn binary_ops() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(add(&a, &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(mul(&a, &b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(div(&b, &a).data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn binary_shape_mismatch_panics() {
+        add(&t(&[1.0]), &t(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn broadcast_add_rows() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = t(&[10.0, 20.0, 30.0]);
+        let c = add_broadcast(&a, &b);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn broadcast_wrong_suffix_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2]);
+        add_broadcast(&a, &b);
+    }
+
+    #[test]
+    fn activations_reference_values() {
+        let x = t(&[0.0]);
+        assert_eq!(sigmoid(&x).data()[0], 0.5);
+        assert_eq!(tanh(&x).data()[0], 0.0);
+        assert_eq!(relu(&t(&[-1.0])).data()[0], 0.0);
+        assert_eq!(relu(&t(&[2.0])).data()[0], 2.0);
+        // GELU(0) = 0, GELU(x) ≈ x for large x, ≈ 0 for very negative x.
+        assert_eq!(gelu(&x).data()[0], 0.0);
+        assert!((gelu(&t(&[10.0])).data()[0] - 10.0).abs() < 1e-4);
+        assert!(gelu(&t(&[-10.0])).data()[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let h = 1e-3;
+            let fd = (gelu_scalar(x + h) - gelu_scalar(x - h)) / (2.0 * h);
+            let an = gelu_grad_scalar(x);
+            assert!(
+                (fd - an).abs() < 1e-2,
+                "gelu'({x}) fd={fd} analytic={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(scale(&a, 2.0).data(), &[2.0, -4.0]);
+        assert_eq!(add_scalar(&a, 1.0).data(), &[2.0, -1.0]);
+        assert_eq!(neg(&a).data(), &[-1.0, 2.0]);
+        assert_eq!(square(&a).data(), &[1.0, 4.0]);
+    }
+}

@@ -1,0 +1,409 @@
+//! Matrix multiplication kernels (2-D and batched 3-D), row-parallel.
+//!
+//! Loop order is `m, k, n` so the inner loop streams rows of `B` and the
+//! output row accumulates in cache — the standard cache-friendly layout for
+//! row-major operands without an explicit packing step. Rows of the output
+//! are distributed across scoped threads (see [`crate::par`]).
+
+use crate::par::parallel_rows_mut;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Minimum rows per thread before we bother spawning.
+const MIN_ROWS_PER_THREAD: usize = 8;
+
+/// Inner kernel: `out[m_range, :] = A[m_range, :] @ B` for row-major
+/// `a: [M,K]`, `b: [K,N]`, writing into the chunk for those rows.
+fn mm_rows(
+    rows: std::ops::Range<usize>,
+    out_chunk: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+) {
+    out_chunk.fill(0.0);
+    for (local, m) in rows.enumerate() {
+        let a_row = &a[m * k..(m + 1) * k];
+        let o_row = &mut out_chunk[local * n..(local + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `C = A @ B` for `a: [M,K]`, `b: [K,N]` → `[M,N]`.
+///
+/// # Panics
+/// Panics unless both inputs are rank-2 with matching inner dimension.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul: lhs must be rank-2, got {}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul: rhs must be rank-2, got {}", b.shape());
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul: inner dims differ, {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
+        mm_rows(rows, chunk, ad, bd, k, n);
+    });
+    Tensor::from_parts(Shape(vec![m, n]), out)
+}
+
+/// `C = A @ Bᵀ` for `a: [M,K]`, `b: [N,K]` → `[M,N]`.
+///
+/// Used by backward passes (`dX = dY @ Wᵀ`) without materializing the
+/// transpose. The dot-product inner loop is auto-vectorization friendly.
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_transb: lhs rank-2 required");
+    assert_eq!(b.rank(), 2, "matmul_transb: rhs rank-2 required");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul_transb: inner dims differ, {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
+        for (local, mm) in rows.enumerate() {
+            let a_row = &ad[mm * k..(mm + 1) * k];
+            for nn in 0..n {
+                let b_row = &bd[nn * k..(nn + 1) * k];
+                let dot: f32 = a_row.iter().zip(b_row.iter()).map(|(&x, &y)| x * y).sum();
+                chunk[local * n + nn] = dot;
+            }
+        }
+    });
+    Tensor::from_parts(Shape(vec![m, n]), out)
+}
+
+/// `C = Aᵀ @ B` for `a: [K,M]`, `b: [K,N]` → `[M,N]`.
+///
+/// Used by backward passes (`dW = Xᵀ @ dY`).
+pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_transa: lhs rank-2 required");
+    assert_eq!(b.rank(), 2, "matmul_transa: rhs rank-2 required");
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul_transa: outer dims differ, {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    // Parallelize over output rows m; each output row m is sum_k A[k,m]*B[k,:].
+    parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
+        chunk.fill(0.0);
+        for (local, mm) in rows.enumerate() {
+            let o_row = &mut chunk[local * n..(local + 1) * n];
+            for kk in 0..k {
+                let av = ad[kk * m + mm];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+    Tensor::from_parts(Shape(vec![m, n]), out)
+}
+
+/// Batched matmul: `a: [B,M,K] @ b: [B,K,N]` → `[B,M,N]`.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    bmm_impl(a, b, false, false)
+}
+
+/// Batched `a @ bᵀ`: `a: [B,M,K] @ b: [B,N,K]` → `[B,M,N]`.
+pub fn bmm_transb(a: &Tensor, b: &Tensor) -> Tensor {
+    bmm_impl(a, b, false, true)
+}
+
+/// Batched `aᵀ @ b`: `a: [B,K,M] @ b: [B,K,N]` → `[B,M,N]`.
+pub fn bmm_transa(a: &Tensor, b: &Tensor) -> Tensor {
+    bmm_impl(a, b, true, false)
+}
+
+fn bmm_impl(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
+    assert_eq!(a.rank(), 3, "bmm: lhs must be rank-3, got {}", a.shape());
+    assert_eq!(b.rank(), 3, "bmm: rhs must be rank-3, got {}", b.shape());
+    assert_eq!(
+        a.dims()[0],
+        b.dims()[0],
+        "bmm: batch dims differ, {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let batch = a.dims()[0];
+    let (m, ka) = if ta {
+        (a.dims()[2], a.dims()[1])
+    } else {
+        (a.dims()[1], a.dims()[2])
+    };
+    let (kb, n) = if tb {
+        (b.dims()[2], b.dims()[1])
+    } else {
+        (b.dims()[1], b.dims()[2])
+    };
+    assert_eq!(
+        ka, kb,
+        "bmm: inner dims differ, {} vs {} (ta={ta}, tb={tb})",
+        a.shape(),
+        b.shape()
+    );
+    let k = ka;
+    let (ad, bd) = (a.data(), b.data());
+    let a_stride = a.dims()[1] * a.dims()[2];
+    let b_stride = b.dims()[1] * b.dims()[2];
+    let mut out = vec![0.0f32; batch * m * n];
+    // Parallelize across the fused (batch, m) row space.
+    parallel_rows_mut(&mut out, batch * m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
+        for (local, row) in rows.enumerate() {
+            let (bi, mm) = (row / m, row % m);
+            let a_mat = &ad[bi * a_stride..(bi + 1) * a_stride];
+            let b_mat = &bd[bi * b_stride..(bi + 1) * b_stride];
+            let o_row = &mut chunk[local * n..(local + 1) * n];
+            o_row.fill(0.0);
+            match (ta, tb) {
+                (false, false) => {
+                    for kk in 0..k {
+                        let av = a_mat[mm * k + kk];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b_mat[kk * n..(kk + 1) * n];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                (false, true) => {
+                    let a_row = &a_mat[mm * k..(mm + 1) * k];
+                    for (nn, o) in o_row.iter_mut().enumerate() {
+                        let b_row = &b_mat[nn * k..(nn + 1) * k];
+                        *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+                    }
+                }
+                (true, false) => {
+                    for kk in 0..k {
+                        let av = a_mat[kk * m + mm];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b_mat[kk * n..(kk + 1) * n];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                (true, true) => unreachable!("bmm: double transpose not exposed"),
+            }
+        }
+    });
+    Tensor::from_parts(Shape(vec![batch, m, n]), out)
+}
+
+/// Transpose a rank-2 tensor.
+pub fn transpose2d(t: &Tensor) -> Tensor {
+    assert_eq!(t.rank(), 2, "transpose2d requires rank-2");
+    let (m, n) = (t.dims()[0], t.dims()[1]);
+    let d = t.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = d[i * n + j];
+        }
+    }
+    Tensor::from_parts(Shape(vec![n, m]), out)
+}
+
+/// Permute axes of an arbitrary-rank tensor (a full copy).
+///
+/// `axes` must be a permutation of `0..rank`.
+pub fn permute(t: &Tensor, axes: &[usize]) -> Tensor {
+    let rank = t.rank();
+    assert_eq!(axes.len(), rank, "permute: axes len != rank");
+    let mut seen = vec![false; rank];
+    for &a in axes {
+        assert!(a < rank && !seen[a], "permute: invalid axes {axes:?}");
+        seen[a] = true;
+    }
+    let in_dims = t.dims();
+    let out_dims: Vec<usize> = axes.iter().map(|&a| in_dims[a]).collect();
+    let in_strides = t.shape().strides();
+    let out_shape = Shape(out_dims.clone());
+    let mut out = vec![0.0f32; t.numel()];
+    let d = t.data();
+    // Walk the output in order; compute the source offset incrementally.
+    let mut idx = vec![0usize; rank];
+    for o in out.iter_mut() {
+        let mut src = 0usize;
+        for (dim, &i) in idx.iter().enumerate() {
+            src += i * in_strides[axes[dim]];
+        }
+        *o = d[src];
+        // increment mixed-radix counter over out_dims
+        for dim in (0..rank).rev() {
+            idx[dim] += 1;
+            if idx[dim] < out_dims[dim] {
+                break;
+            }
+            idx[dim] = 0;
+        }
+    }
+    Tensor::from_parts(out_shape, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(data: &[f32], r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[r, c]).unwrap()
+    }
+
+    #[test]
+    fn matmul_reference() {
+        // [[1,2],[3,4]] @ [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = t2(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = t2(&[5.0, 6.0, 7.0, 8.0], 2, 2);
+        assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rect() {
+        let a = t2(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], 3, 2); // 3x2
+        let b = t2(&[2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], 2, 4); // 2x4
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[3, 4]);
+        assert_eq!(&c.data()[..4], &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(&c.data()[4..8], &[6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(&c.data()[8..], &[8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn transb_matches_explicit_transpose() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let b = t2(
+            &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0],
+            4,
+            3,
+        ); // treated as Bᵀ: 3x4
+        let expect = matmul(&a, &transpose2d(&b));
+        assert_eq!(matmul_transb(&a, &b), expect);
+    }
+
+    #[test]
+    fn transa_matches_explicit_transpose() {
+        let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2); // Aᵀ: 2x3
+        let b = t2(&[1.0, 0.5, -1.0, 2.0, 0.0, 3.0], 3, 2);
+        let expect = matmul(&transpose2d(&a), &b);
+        assert_eq!(matmul_transa(&a, &b), expect);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[2, 2, 3]).unwrap();
+        let b = Tensor::from_vec((0..24).map(|i| (i as f32) * 0.5).collect(), &[2, 3, 4]).unwrap();
+        let c = bmm(&a, &b);
+        assert_eq!(c.dims(), &[2, 2, 4]);
+        for bi in 0..2 {
+            let am = Tensor::from_vec(a.data()[bi * 6..(bi + 1) * 6].to_vec(), &[2, 3]).unwrap();
+            let bm = Tensor::from_vec(b.data()[bi * 12..(bi + 1) * 12].to_vec(), &[3, 4]).unwrap();
+            let cm = matmul(&am, &bm);
+            assert_eq!(&c.data()[bi * 8..(bi + 1) * 8], cm.data());
+        }
+    }
+
+    #[test]
+    fn bmm_transb_matches() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32 * 0.1).collect(), &[2, 2, 3]).unwrap();
+        let b = Tensor::from_vec((0..24).map(|i| i as f32 * 0.2).collect(), &[2, 4, 3]).unwrap();
+        let c = bmm_transb(&a, &b);
+        assert_eq!(c.dims(), &[2, 2, 4]);
+        for bi in 0..2 {
+            let am = Tensor::from_vec(a.data()[bi * 6..(bi + 1) * 6].to_vec(), &[2, 3]).unwrap();
+            let bm = Tensor::from_vec(b.data()[bi * 12..(bi + 1) * 12].to_vec(), &[4, 3]).unwrap();
+            let cm = matmul(&am, &transpose2d(&bm));
+            assert!(Tensor::from_vec(c.data()[bi * 8..(bi + 1) * 8].to_vec(), &[2, 4])
+                .unwrap()
+                .allclose(&cm, 1e-6));
+        }
+    }
+
+    #[test]
+    fn bmm_transa_matches() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32 * 0.3).collect(), &[2, 3, 2]).unwrap();
+        let b = Tensor::from_vec((0..24).map(|i| i as f32 * 0.1).collect(), &[2, 3, 4]).unwrap();
+        let c = bmm_transa(&a, &b);
+        assert_eq!(c.dims(), &[2, 2, 4]);
+        for bi in 0..2 {
+            let am = Tensor::from_vec(a.data()[bi * 6..(bi + 1) * 6].to_vec(), &[3, 2]).unwrap();
+            let bm = Tensor::from_vec(b.data()[bi * 12..(bi + 1) * 12].to_vec(), &[3, 4]).unwrap();
+            let cm = matmul(&transpose2d(&am), &bm);
+            assert!(Tensor::from_vec(c.data()[bi * 8..(bi + 1) * 8].to_vec(), &[2, 4])
+                .unwrap()
+                .allclose(&cm, 1e-6));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_bad_inner_panics() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn permute_3d() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]).unwrap();
+        let p = permute(&t, &[1, 0, 2]);
+        assert_eq!(p.dims(), &[3, 2, 4]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(p.at(&[j, i, k]), t.at(&[i, j, k]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip_identity() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]).unwrap();
+        let p = permute(&permute(&t, &[2, 0, 1]), &[1, 2, 0]);
+        assert_eq!(p, t);
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        use crate::par::set_num_threads;
+        let a = Tensor::from_vec((0..64 * 32).map(|i| (i % 13) as f32 * 0.1).collect(), &[64, 32])
+            .unwrap();
+        let b = Tensor::from_vec((0..32 * 48).map(|i| (i % 7) as f32 * 0.2).collect(), &[32, 48])
+            .unwrap();
+        set_num_threads(1);
+        let serial = matmul(&a, &b);
+        set_num_threads(4);
+        let par = matmul(&a, &b);
+        set_num_threads(0);
+        assert!(serial.allclose(&par, 1e-6));
+    }
+}

@@ -1,0 +1,17 @@
+//! Pure functional operations on [`crate::Tensor`] values.
+//!
+//! These are the forward kernels; the autograd layer in
+//! [`crate::var_ops`] composes them with hand-written backward passes.
+//! All kernels are shape-checked (panicking with descriptive messages on
+//! programmer error) and, where the arithmetic intensity justifies it,
+//! parallelized via [`crate::par`].
+
+pub mod elementwise;
+pub mod matmul;
+pub mod nn;
+pub mod reduce;
+
+pub use elementwise::*;
+pub use matmul::*;
+pub use nn::*;
+pub use reduce::*;

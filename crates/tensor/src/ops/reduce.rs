@@ -1,0 +1,131 @@
+//! Reduction kernels.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Sum of all elements, as a rank-0 tensor.
+pub fn sum_all(t: &Tensor) -> Tensor {
+    Tensor::scalar(t.data().iter().sum())
+}
+
+/// Mean of all elements, as a rank-0 tensor. Returns 0 for empty tensors.
+pub fn mean_all(t: &Tensor) -> Tensor {
+    let n = t.numel();
+    if n == 0 {
+        return Tensor::scalar(0.0);
+    }
+    Tensor::scalar(t.data().iter().sum::<f32>() / n as f32)
+}
+
+/// Reduce `t` down to a trailing-suffix shape by summing over the leading
+/// dimensions. Inverse of trailing broadcast — used to compute gradients of
+/// broadcast ops (e.g. a bias of shape `[D]` added into `[B,T,D]`).
+///
+/// # Panics
+/// Panics if `target` is not a trailing suffix of `t`'s shape.
+pub fn sum_to_trailing(t: &Tensor, target: &[usize]) -> Tensor {
+    let tgt = Shape(target.to_vec());
+    assert!(
+        t.shape().is_trailing_broadcast_of(&tgt),
+        "sum_to_trailing: {} is not a trailing suffix of {}",
+        tgt,
+        t.shape()
+    );
+    let tail = tgt.numel().max(1);
+    let mut out = vec![0.0f32; tail];
+    for (i, &v) in t.data().iter().enumerate() {
+        out[i % tail] += v;
+    }
+    Tensor::from_parts(tgt, out)
+}
+
+/// Sum over the last axis: `[.., D]` → `[..]`.
+pub fn sum_last(t: &Tensor) -> Tensor {
+    assert!(t.rank() >= 1, "sum_last requires rank >= 1");
+    let d = *t.dims().last().unwrap();
+    let lead: Vec<usize> = t.dims()[..t.rank() - 1].to_vec();
+    let rows = t.numel() / d.max(1);
+    let mut out = vec![0.0f32; rows];
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = t.data()[r * d..(r + 1) * d].iter().sum();
+    }
+    Tensor::from_parts(Shape(lead), out)
+}
+
+/// Index of the maximum element along the last axis, per row.
+/// Ties resolve to the lowest index.
+pub fn argmax_last(t: &Tensor) -> Vec<usize> {
+    assert!(t.rank() >= 1, "argmax_last requires rank >= 1");
+    let d = *t.dims().last().unwrap();
+    assert!(d > 0, "argmax_last: empty last axis");
+    let rows = t.numel() / d;
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &t.data()[r * d..(r + 1) * d];
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// Maximum element of the whole tensor.
+///
+/// # Panics
+/// Panics on an empty tensor.
+pub fn max_all(t: &Tensor) -> f32 {
+    assert!(t.numel() > 0, "max_all on empty tensor");
+    t.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(sum_all(&t).item(), 10.0);
+        assert_eq!(mean_all(&t).item(), 2.5);
+    }
+
+    #[test]
+    fn sum_to_trailing_bias_grad() {
+        // grad of [2,3] broadcast over [D=3] bias
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0], &[2, 3]).unwrap();
+        let r = sum_to_trailing(&g, &[3]);
+        assert_eq!(r.data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn sum_to_trailing_scalar() {
+        let g = Tensor::ones(&[4, 5]);
+        let r = sum_to_trailing(&g, &[]);
+        assert_eq!(r.item(), 20.0);
+    }
+
+    #[test]
+    fn sum_last_shapes() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]).unwrap();
+        let s = sum_last(&t);
+        assert_eq!(s.dims(), &[2, 3]);
+        assert_eq!(s.at(&[0, 0]), 0.0 + 1.0 + 2.0 + 3.0);
+        assert_eq!(s.at(&[1, 2]), 20.0 + 21.0 + 22.0 + 23.0);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.7, 0.2, 0.3], &[2, 3]).unwrap();
+        assert_eq!(argmax_last(&t), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_tie_lowest_index() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]).unwrap();
+        assert_eq!(argmax_last(&t), vec![0]);
+    }
+}

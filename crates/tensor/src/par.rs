@@ -1,0 +1,148 @@
+//! Scoped-thread data parallelism for the heavy kernels.
+//!
+//! The paper trained on an Nvidia A100 ("2–3 days on CPU vs ~16 h on GPU").
+//! Our substitute for that hardware axis is CPU thread parallelism: the
+//! worker count is a process-wide runtime knob so the `training_speedup`
+//! reproduction binary can sweep 1→N threads over the identical workload.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 means "use all available parallelism".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the number of worker threads used by parallel kernels.
+///
+/// `0` restores the default (all available cores). Takes effect for
+/// subsequent kernel launches; in-flight kernels are unaffected.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads parallel kernels will use right now.
+pub fn num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Run `f(start, end, chunk_index)` over disjoint chunks of `0..len` on
+/// scoped threads. Falls back to a direct call when one thread suffices or
+/// the work is too small to amortize thread spawn cost.
+///
+/// `f` must be safe to run concurrently on disjoint ranges — callers
+/// partition their output buffers accordingly.
+pub fn parallel_chunks<F>(len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    let threads = num_threads().min(len / min_chunk.max(1)).max(1);
+    if threads <= 1 || len == 0 {
+        f(0, len, 0);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let fref = &f;
+            s.spawn(move || fref(start, end, t));
+        }
+    });
+}
+
+/// Fill disjoint row-chunks of `out`, where each chunk of `rows` rows of
+/// width `row_len` is produced by `f(row_range, out_chunk)`.
+///
+/// This is the safe wrapper the matmul kernels use: the output buffer is
+/// split with `chunks_mut`, so no unsafe aliasing is needed.
+pub fn parallel_rows_mut<F>(out: &mut [f32], rows: usize, row_len: usize, min_rows: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), rows * row_len, "output buffer size mismatch");
+    let threads = num_threads().min(rows / min_rows.max(1)).max(1);
+    if threads <= 1 || rows == 0 {
+        f(0..rows, out);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut row = 0usize;
+        let fref = &f;
+        while row < rows {
+            let take = rows_per.min(rows - row);
+            let (head, tail) = rest.split_at_mut(take * row_len);
+            let range = row..row + take;
+            s.spawn(move || fref(range, head));
+            rest = tail;
+            row += take;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threads_positive() {
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn set_and_restore() {
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_chunks_covers_range_once() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u8; 1000]);
+        parallel_chunks(1000, 10, |s, e, _| {
+            let mut h = hits.lock().unwrap();
+            for i in s..e {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn parallel_rows_mut_writes_disjoint_rows() {
+        let rows = 64;
+        let width = 7;
+        let mut out = vec![0.0f32; rows * width];
+        parallel_rows_mut(&mut out, rows, width, 1, |range, chunk| {
+            for (i, r) in range.clone().enumerate() {
+                for c in 0..width {
+                    chunk[i * width + c] = (r * width + c) as f32;
+                }
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn small_work_runs_inline() {
+        let mut out = vec![0.0f32; 3];
+        parallel_rows_mut(&mut out, 3, 1, 100, |range, chunk| {
+            assert_eq!(range, 0..3);
+            chunk.fill(1.0);
+        });
+        assert_eq!(out, vec![1.0; 3]);
+    }
+}

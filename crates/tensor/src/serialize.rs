@@ -1,0 +1,298 @@
+//! Checkpoint serialization: named tensor collections in a compact binary
+//! format with an integrity checksum.
+//!
+//! The paper's training environment (Google Colab) "crashed every 5 to 7
+//! epochs"; the engineering answer is cheap, verifiable checkpoints. The
+//! format is:
+//!
+//! ```text
+//! magic   : 8 bytes  = "RTCKPT01"
+//! count   : u32 LE
+//! entry*  : name_len u16 | name utf8 | rank u8 | dims u32* | numel u64 | f32 LE*
+//! checksum: u64 LE   = FNV-1a over everything before it
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"RTCKPT01";
+
+/// An ordered, named collection of tensors (a checkpoint section).
+///
+/// `BTreeMap` keeps serialization deterministic, so identical states
+/// produce byte-identical checkpoints (useful for tests and dedup).
+#[derive(Default, Clone, Debug)]
+pub struct TensorMap {
+    entries: BTreeMap<String, Tensor>,
+}
+
+impl TensorMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a named tensor.
+    pub fn insert(&mut self, name: impl Into<String>, t: Tensor) {
+        self.entries.insert(name.into(), t);
+    }
+
+    /// Look up a tensor by name.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.get(name)
+    }
+
+    /// Look up a tensor, erroring with the missing name.
+    pub fn require(&self, name: &str) -> Result<&Tensor, TensorError> {
+        self.entries
+            .get(name)
+            .ok_or_else(|| TensorError::MissingTensor(name.to_string()))
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate name → tensor in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Tensor)> {
+        self.entries.iter()
+    }
+
+    /// Names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Serialize to bytes (with trailing checksum).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(self.entries.len() as u32);
+        for (name, t) in &self.entries {
+            assert!(name.len() <= u16::MAX as usize, "tensor name too long");
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+            assert!(t.rank() <= u8::MAX as usize);
+            buf.put_u8(t.rank() as u8);
+            for &d in t.dims() {
+                buf.put_u32_le(d as u32);
+            }
+            buf.put_u64_le(t.numel() as u64);
+            for &v in t.data() {
+                buf.put_f32_le(v);
+            }
+        }
+        let sum = fnv1a(&buf);
+        buf.put_u64_le(sum);
+        buf.freeze()
+    }
+
+    /// Deserialize from bytes, verifying magic and checksum.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, TensorError> {
+        if data.len() < MAGIC.len() + 4 + 8 {
+            return Err(TensorError::Corrupt("payload too short".into()));
+        }
+        let (body, sum_bytes) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(TensorError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+            )));
+        }
+        data = body;
+        let mut magic = [0u8; 8];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(TensorError::Corrupt(format!(
+                "bad magic {:?}",
+                String::from_utf8_lossy(&magic)
+            )));
+        }
+        let count = data.get_u32_le() as usize;
+        let mut map = TensorMap::new();
+        for _ in 0..count {
+            if data.remaining() < 2 {
+                return Err(TensorError::Corrupt("truncated entry header".into()));
+            }
+            let name_len = data.get_u16_le() as usize;
+            if data.remaining() < name_len + 1 {
+                return Err(TensorError::Corrupt("truncated name".into()));
+            }
+            let mut name_buf = vec![0u8; name_len];
+            data.copy_to_slice(&mut name_buf);
+            let name = String::from_utf8(name_buf)
+                .map_err(|_| TensorError::Corrupt("non-utf8 tensor name".into()))?;
+            let rank = data.get_u8() as usize;
+            if data.remaining() < rank * 4 + 8 {
+                return Err(TensorError::Corrupt("truncated dims".into()));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(data.get_u32_le() as usize);
+            }
+            let numel = data.get_u64_le() as usize;
+            let expected: usize = dims.iter().product();
+            if numel != expected {
+                return Err(TensorError::Corrupt(format!(
+                    "tensor `{name}`: numel {numel} != dims product {expected}"
+                )));
+            }
+            if data.remaining() < numel * 4 {
+                return Err(TensorError::Corrupt(format!(
+                    "tensor `{name}`: truncated data"
+                )));
+            }
+            let mut values = Vec::with_capacity(numel);
+            for _ in 0..numel {
+                values.push(data.get_f32_le());
+            }
+            map.insert(name, Tensor::from_vec(values, &dims).map_err(|e| {
+                TensorError::Corrupt(format!("bad tensor in checkpoint: {e}"))
+            })?);
+        }
+        Ok(map)
+    }
+
+    /// Write to a file (atomically via a temp file + rename, so a crash
+    /// mid-write never leaves a half-written checkpoint in place).
+    pub fn save(&self, path: &Path) -> Result<(), TensorError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &Path) -> Result<Self, TensorError> {
+        let mut f = std::fs::File::open(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Self::from_bytes(&buf)
+    }
+}
+
+/// FNV-1a over a byte slice.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_map() -> TensorMap {
+        let mut m = TensorMap::new();
+        m.insert("w", Tensor::from_vec(vec![1.0, -2.5, 3.25], &[3]).unwrap());
+        m.insert("b", Tensor::scalar(0.5));
+        m.insert(
+            "emb.table",
+            Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]).unwrap(),
+        );
+        m
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let m = sample_map();
+        let bytes = m.to_bytes();
+        let m2 = TensorMap::from_bytes(&bytes).unwrap();
+        assert_eq!(m2.len(), 3);
+        for (name, t) in m.iter() {
+            assert_eq!(m2.get(name).unwrap(), t, "tensor `{name}` differs");
+        }
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        assert_eq!(sample_map().to_bytes(), sample_map().to_bytes());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let bytes = sample_map().to_bytes();
+        let mut bad = bytes.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        match TensorMap::from_bytes(&bad) {
+            Err(TensorError::Corrupt(msg)) => assert!(msg.contains("checksum")),
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample_map().to_bytes();
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                TensorMap::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let bytes = sample_map().to_bytes();
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        // fix checksum so only the magic is wrong
+        let body_len = bad.len() - 8;
+        let sum = fnv1a(&bad[..body_len]).to_le_bytes();
+        bad[body_len..].copy_from_slice(&sum);
+        match TensorMap::from_bytes(&bad) {
+            Err(TensorError::Corrupt(msg)) => assert!(msg.contains("magic")),
+            other => panic!("expected magic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_atomic() {
+        let dir = std::env::temp_dir().join(format!("rt-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let m = sample_map();
+        m.save(&path).unwrap();
+        let m2 = TensorMap::load(&path).unwrap();
+        assert_eq!(m2.get("w").unwrap(), m.get("w").unwrap());
+        assert!(!path.with_extension("tmp").exists(), "temp file left behind");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn require_reports_missing_name() {
+        let m = sample_map();
+        match m.require("nope") {
+            Err(TensorError::MissingTensor(n)) => assert_eq!(n, "nope"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_map_roundtrips() {
+        let m = TensorMap::new();
+        let m2 = TensorMap::from_bytes(&m.to_bytes()).unwrap();
+        assert!(m2.is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Shape and stride arithmetic for contiguous row-major tensors.
+
+use crate::error::TensorError;
+
+/// An n-dimensional shape.
+///
+/// Shapes are small (rank ≤ 4 in practice for this workspace) so a plain
+/// `Vec<usize>` is fine; the newtype carries the arithmetic helpers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimensions, validating that the element count
+    /// does not overflow `usize`.
+    pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
+        let mut numel: usize = 1;
+        for &d in dims {
+            numel = numel
+                .checked_mul(d)
+                .ok_or_else(|| TensorError::InvalidShape(format!("{dims:?} overflows usize")))?;
+        }
+        Ok(Shape(dims.to_vec()))
+    }
+
+    /// Dimensions as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count (product of dims; 1 for a scalar/rank-0 shape).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset for a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if `idx` has wrong rank or any coordinate is out of bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.0.len(),
+            "index rank {} != shape rank {}",
+            idx.len(),
+            self.0.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (d, (&i, &s)) in idx.iter().zip(strides.iter()).enumerate() {
+            assert!(
+                i < self.0[d],
+                "index {i} out of bounds for dim {d} of size {}",
+                self.0[d]
+            );
+            off += i * s;
+        }
+        off
+    }
+
+    /// Whether `other` can broadcast against `self` as a trailing suffix,
+    /// i.e. `other.dims()` equals the last `other.rank()` dims of `self`.
+    ///
+    /// This is the only broadcasting rule the crate supports (it covers
+    /// bias addition `[B,T,D] + [D]` and row broadcast `[N,D] + [D]`),
+    /// keeping kernels simple and predictable.
+    pub fn is_trailing_broadcast_of(&self, other: &Shape) -> bool {
+        let r = other.rank();
+        r <= self.rank() && self.0[self.rank() - r..] == other.0[..]
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]).unwrap();
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]).unwrap();
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn offset_computes_flat_index() {
+        let s = Shape::new(&[2, 3, 4]).unwrap();
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_panics_out_of_bounds() {
+        let s = Shape::new(&[2, 3]).unwrap();
+        s.offset(&[2, 0]);
+    }
+
+    #[test]
+    fn trailing_broadcast() {
+        let big = Shape::new(&[2, 3, 4]).unwrap();
+        assert!(big.is_trailing_broadcast_of(&Shape::new(&[4]).unwrap()));
+        assert!(big.is_trailing_broadcast_of(&Shape::new(&[3, 4]).unwrap()));
+        assert!(big.is_trailing_broadcast_of(&big));
+        assert!(!big.is_trailing_broadcast_of(&Shape::new(&[3]).unwrap()));
+        assert!(!big.is_trailing_broadcast_of(&Shape::new(&[2, 3, 4, 5]).unwrap()));
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        assert!(Shape::new(&[usize::MAX, 2]).is_err());
+    }
+
+    #[test]
+    fn zero_dim_is_allowed_with_zero_elements() {
+        let s = Shape::new(&[0, 5]).unwrap();
+        assert_eq!(s.numel(), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The immutable tensor value type.
+
+use std::sync::Arc;
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+
+/// A contiguous, row-major, immutable `f32` tensor.
+///
+/// Storage is shared behind an [`Arc`], so `clone` is O(1). Ops that produce
+/// new data allocate a fresh buffer; ops that only reinterpret the shape
+/// (`reshape`) share storage.
+#[derive(Clone)]
+pub struct Tensor {
+    shape: Shape,
+    data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------
+    // Constructors
+    // ---------------------------------------------------------------
+
+    /// Build a tensor from a flat row-major buffer and a shape.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        if data.len() != shape.numel() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: Arc::new(data),
+        })
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor {
+            shape: Shape(vec![]),
+            data: Arc::new(vec![v]),
+        }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims).expect("zeros: invalid shape");
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: Arc::new(vec![0.0; n]),
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Tensor filled with `v`.
+    pub fn full(dims: &[usize], v: f32) -> Self {
+        let shape = Shape::new(dims).expect("full: invalid shape");
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: Arc::new(vec![v; n]),
+        }
+    }
+
+    /// `[0, 1, 2, …, n-1]` as a 1-D tensor.
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            shape: Shape(vec![n]),
+            data: Arc::new((0..n).map(|i| i as f32).collect()),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimensions as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// The flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// The single value of a rank-0 or one-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elements",
+            self.numel()
+        );
+        self.data[0]
+    }
+
+    /// Reinterpret the shape without copying (element count must match).
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims).expect("reshape: invalid shape");
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape {} -> {} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor {
+            shape,
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Copy out the data as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data.as_ref().clone()
+    }
+
+    /// Internal: build from parts without re-validating (callers guarantee
+    /// `data.len() == shape.numel()`).
+    pub(crate) fn from_parts(shape: Shape, data: Vec<f32>) -> Tensor {
+        debug_assert_eq!(shape.numel(), data.len());
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
+    }
+
+    /// True if any element is NaN or infinite. Used by training-loop
+    /// diagnostics and failure-injection tests.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Maximum absolute element (0.0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Elementwise approximate equality within `tol`, shape-sensitive.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
+    }
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{} [", self.shape)?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.numel() > PREVIEW {
+            write!(f, ", … {} more", self.numel() - PREVIEW)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).is_err());
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let t = Tensor::zeros(&[1024]);
+        let u = t.clone();
+        assert!(std::ptr::eq(t.data().as_ptr(), u.data().as_ptr()));
+    }
+
+    #[test]
+    fn reshape_shares_storage() {
+        let t = Tensor::arange(6);
+        let r = t.reshape(&[2, 3]);
+        assert_eq!(r.at(&[1, 2]), 5.0);
+        assert!(std::ptr::eq(t.data().as_ptr(), r.data().as_ptr()));
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_wrong_count_panics() {
+        Tensor::arange(6).reshape(&[4]);
+    }
+
+    #[test]
+    fn item_and_scalar() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let t = Tensor::from_vec(vec![1.0, f32::NAN], &[2]).unwrap();
+        assert!(t.has_non_finite());
+        assert!(!Tensor::ones(&[3]).has_non_finite());
+    }
+
+    #[test]
+    fn allclose_respects_shape() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::ones(&[4]);
+        assert!(!a.allclose(&b, 1e-6));
+        assert!(a.allclose(&a.clone(), 0.0));
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tensor::from_vec(vec![3.0, -4.0], &[2]).unwrap();
+        assert_eq!(t.l2_norm(), 5.0);
+        assert_eq!(t.max_abs(), 4.0);
+    }
+}

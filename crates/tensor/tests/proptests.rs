@@ -1,0 +1,125 @@
+//! Property-based tests on tensor-library invariants.
+
+use proptest::prelude::*;
+use ratatouille_tensor::serialize::TensorMap;
+use ratatouille_tensor::{ops, Tensor, Var};
+
+/// Small tensors with matching shapes.
+fn tensor_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..4, 1usize..5).prop_flat_map(|(r, c)| {
+        let n = r * c;
+        (
+            proptest::collection::vec(-10.0f32..10.0, n..=n),
+            proptest::collection::vec(-10.0f32..10.0, n..=n),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Tensor::from_vec(a, &[r, c]).unwrap(),
+                    Tensor::from_vec(b, &[r, c]).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    /// Elementwise addition is commutative; subtraction anti-commutes.
+    #[test]
+    fn add_commutes((a, b) in tensor_pair()) {
+        prop_assert!(ops::add(&a, &b).allclose(&ops::add(&b, &a), 1e-6));
+        let ab = ops::sub(&a, &b);
+        let ba = ops::neg(&ops::sub(&b, &a));
+        prop_assert!(ab.allclose(&ba, 1e-6));
+    }
+
+    /// Softmax rows are a probability distribution, for any input.
+    #[test]
+    fn softmax_is_distribution(data in proptest::collection::vec(-50.0f32..50.0, 1..40)) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]).unwrap();
+        let s = ops::softmax_last(&t);
+        prop_assert!(!s.has_non_finite());
+        let sum: f32 = s.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(s.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        a in proptest::collection::vec(-3.0f32..3.0, 6..=6),
+        b in proptest::collection::vec(-3.0f32..3.0, 8..=8),
+        c in proptest::collection::vec(-3.0f32..3.0, 8..=8),
+    ) {
+        let a = Tensor::from_vec(a, &[3, 2]).unwrap();
+        let b = Tensor::from_vec(b, &[2, 4]).unwrap();
+        let c = Tensor::from_vec(c, &[2, 4]).unwrap();
+        let lhs = ops::matmul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&ops::matmul(&a, &b), &ops::matmul(&a, &c));
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    /// Transpose identities: (Aᵀ)ᵀ = A and matmul_transb(A, B) = A·Bᵀ.
+    #[test]
+    fn transpose_involution((a, b) in tensor_pair()) {
+        prop_assert_eq!(ops::transpose2d(&ops::transpose2d(&a)), a.clone());
+        let viat = ops::matmul(&a, &ops::transpose2d(&b.reshape(&[b.dims()[0], b.dims()[1]])));
+        let direct = ops::matmul_transb(&a, &b);
+        prop_assert!(viat.allclose(&direct, 1e-5));
+    }
+
+    /// Checkpoint serialization round-trips any tensor map exactly.
+    #[test]
+    fn checkpoint_roundtrip(
+        names in proptest::collection::vec("[a-z]{1,8}", 0..5),
+        seed in 0u64..1000,
+    ) {
+        let mut map = TensorMap::new();
+        for (i, n) in names.iter().enumerate() {
+            let len = (seed as usize + i) % 7 + 1;
+            let data: Vec<f32> = (0..len).map(|j| (seed as f32) * 0.1 + j as f32).collect();
+            map.insert(n.clone(), Tensor::from_vec(data, &[len]).unwrap());
+        }
+        let back = TensorMap::from_bytes(&map.to_bytes()).unwrap();
+        prop_assert_eq!(back.len(), map.len());
+        for (name, t) in map.iter() {
+            prop_assert_eq!(back.get(name), Some(t));
+        }
+    }
+
+    /// Autograd sum rule: d(sum(a*b))/da == b elementwise.
+    #[test]
+    fn autograd_product_rule((a, b) in tensor_pair()) {
+        let va = Var::leaf(a.clone());
+        let vb = Var::constant(b.clone());
+        va.mul(&vb).sum().backward();
+        let grad = va.grad().unwrap();
+        prop_assert!(grad.allclose(&b, 1e-6));
+    }
+
+    /// Gradient accumulation is additive: two backward passes double it.
+    #[test]
+    fn grad_accumulation_is_linear((a, b) in tensor_pair()) {
+        let va = Var::leaf(a);
+        let vb = Var::constant(b);
+        va.mul(&vb).sum().backward();
+        let g1 = va.grad().unwrap();
+        va.mul(&vb).sum().backward();
+        let g2 = va.grad().unwrap();
+        prop_assert!(ops::scale(&g1, 2.0).allclose(&g2, 1e-5));
+    }
+
+    /// sum_to_trailing inverts trailing broadcast on the gradient path:
+    /// summing a broadcast-of-b's shape back gives rows × b's contribution.
+    #[test]
+    fn broadcast_grad_shape((a, b) in tensor_pair()) {
+        let rows = a.dims()[0];
+        let cols = a.dims()[1];
+        let bias = ops::narrow(&b, 0, 0, 1).reshape(&[cols]);
+        let va = Var::constant(a);
+        let vb = Var::leaf(bias);
+        va.add_broadcast(&vb).sum().backward();
+        let g = vb.grad().unwrap();
+        // each bias element receives gradient once per row
+        prop_assert!(g.data().iter().all(|&v| (v - rows as f32).abs() < 1e-5));
+    }
+}

@@ -1,0 +1,248 @@
+//! Tokenizer persistence: a trained model checkpoint is useless without
+//! the exact tokenizer it was trained with, so tokenizers serialize to a
+//! simple line-oriented text format (human-inspectable, like HF's
+//! `vocab.txt` / `merges.txt`).
+//!
+//! Format: a header line `ratatouille-tokenizer v1 <kind>`, then
+//! kind-specific sections. All tokens are written with `\n`, `\\` and
+//! leading-space escapes so the format survives arbitrary vocabulary.
+
+use crate::bpe::BpeTokenizer;
+use crate::char_level::CharTokenizer;
+use crate::word_level::WordTokenizer;
+use crate::{Tokenizer, Vocab};
+
+/// Errors from loading a persisted tokenizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Header missing or wrong version.
+    BadHeader(String),
+    /// The payload declares a different tokenizer kind.
+    WrongKind {
+        /// Kind in the file.
+        found: String,
+        /// Kind the caller asked for.
+        expected: String,
+    },
+    /// A malformed body line.
+    BadLine(usize, String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadHeader(h) => write!(f, "bad tokenizer header: {h}"),
+            PersistError::WrongKind { found, expected } => {
+                write!(f, "tokenizer kind mismatch: file has `{found}`, expected `{expected}`")
+            }
+            PersistError::BadLine(n, l) => write!(f, "bad line {n}: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Escape a token for one-per-line storage.
+fn escape(tok: &str) -> String {
+    let mut out = String::with_capacity(tok.len() + 2);
+    for c in tok.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            ' ' => out.push_str("\\s"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                's' => out.push(' '),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn header(kind: &str) -> String {
+    format!("ratatouille-tokenizer v1 {kind}")
+}
+
+fn check_header<'a>(text: &'a str, expected: &str) -> Result<&'a str, PersistError> {
+    let (first, rest) = text
+        .split_once('\n')
+        .ok_or_else(|| PersistError::BadHeader("empty file".into()))?;
+    let parts: Vec<&str> = first.split(' ').collect();
+    if parts.len() != 3 || parts[0] != "ratatouille-tokenizer" || parts[1] != "v1" {
+        return Err(PersistError::BadHeader(first.to_string()));
+    }
+    if parts[2] != expected {
+        return Err(PersistError::WrongKind {
+            found: parts[2].to_string(),
+            expected: expected.to_string(),
+        });
+    }
+    Ok(rest)
+}
+
+/// Serialize a [`Vocab`]-backed tokenizer body: the non-reserved tokens
+/// in id order (reserved specials are reconstructed, not stored).
+fn vocab_body(vocab: &Vocab) -> String {
+    let mut out = String::new();
+    for (id, tok) in vocab.iter() {
+        if (id as usize) < Vocab::reserved_len() {
+            continue;
+        }
+        out.push_str(&escape(tok));
+        out.push('\n');
+    }
+    out
+}
+
+fn vocab_from_body(body: &str) -> Result<Vocab, PersistError> {
+    let mut vocab = Vocab::with_specials();
+    for (i, line) in body.lines().enumerate() {
+        let tok = unescape(line).ok_or_else(|| PersistError::BadLine(i + 2, line.to_string()))?;
+        vocab.add(&tok);
+    }
+    Ok(vocab)
+}
+
+impl CharTokenizer {
+    /// Serialize to the persistence format.
+    pub fn save_to_string(&self) -> String {
+        format!("{}\n{}", header("char"), vocab_body(self.vocab()))
+    }
+
+    /// Load from the persistence format.
+    pub fn load_from_string(text: &str) -> Result<CharTokenizer, PersistError> {
+        let body = check_header(text, "char")?;
+        Ok(CharTokenizer::from_vocab(vocab_from_body(body)?))
+    }
+}
+
+impl WordTokenizer {
+    /// Serialize to the persistence format.
+    pub fn save_to_string(&self) -> String {
+        format!("{}\n{}", header("word"), vocab_body(self.vocab()))
+    }
+
+    /// Load from the persistence format.
+    pub fn load_from_string(text: &str) -> Result<WordTokenizer, PersistError> {
+        let body = check_header(text, "word")?;
+        Ok(WordTokenizer::from_vocab(vocab_from_body(body)?))
+    }
+}
+
+impl BpeTokenizer {
+    /// Serialize to the persistence format: merge pairs in rank order
+    /// (ids are reconstructible because merge order defines them).
+    pub fn save_to_string(&self) -> String {
+        let mut out = header("bpe");
+        out.push('\n');
+        for (left, right) in self.merges_in_rank_order() {
+            out.push_str(&format!("{left} {right}\n"));
+        }
+        out
+    }
+
+    /// Load from the persistence format.
+    pub fn load_from_string(text: &str) -> Result<BpeTokenizer, PersistError> {
+        let body = check_header(text, "bpe")?;
+        let mut merges = Vec::new();
+        for (i, line) in body.lines().enumerate() {
+            let (a, b) = line
+                .split_once(' ')
+                .ok_or_else(|| PersistError::BadLine(i + 2, line.to_string()))?;
+            let left: u32 = a
+                .parse()
+                .map_err(|_| PersistError::BadLine(i + 2, line.to_string()))?;
+            let right: u32 = b
+                .parse()
+                .map_err(|_| PersistError::BadLine(i + 2, line.to_string()))?;
+            merges.push((left, right));
+        }
+        Ok(BpeTokenizer::from_merges(&merges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &[&str] = &[
+        "mix the flour and water until smooth",
+        "bake the bread until golden brown ok",
+        "<RECIPE_START> 1/2 cup sugar <RECIPE_END>",
+    ];
+
+    #[test]
+    fn escape_roundtrip() {
+        for s in ["plain", "has space", "back\\slash", "new\nline", ""] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+        assert_eq!(unescape("\\q"), None);
+        assert_eq!(unescape("trailing\\"), None);
+    }
+
+    #[test]
+    fn char_tokenizer_roundtrip() {
+        let tok = CharTokenizer::train(CORPUS);
+        let loaded = CharTokenizer::load_from_string(&tok.save_to_string()).unwrap();
+        assert_eq!(loaded.vocab_size(), tok.vocab_size());
+        for text in CORPUS {
+            assert_eq!(loaded.encode(text), tok.encode(text));
+        }
+    }
+
+    #[test]
+    fn word_tokenizer_roundtrip() {
+        let tok = WordTokenizer::train(CORPUS, 1);
+        let loaded = WordTokenizer::load_from_string(&tok.save_to_string()).unwrap();
+        assert_eq!(loaded.vocab_size(), tok.vocab_size());
+        for text in CORPUS {
+            assert_eq!(loaded.encode(text), tok.encode(text));
+        }
+    }
+
+    #[test]
+    fn bpe_tokenizer_roundtrip() {
+        let tok = BpeTokenizer::train(CORPUS, 64);
+        let loaded = BpeTokenizer::load_from_string(&tok.save_to_string()).unwrap();
+        assert_eq!(loaded.vocab_size(), tok.vocab_size());
+        for text in CORPUS {
+            assert_eq!(loaded.encode(text), tok.encode(text));
+            assert_eq!(loaded.decode(&loaded.encode(text)), *text);
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let tok = CharTokenizer::train(CORPUS);
+        let err = WordTokenizer::load_from_string(&tok.save_to_string()).unwrap_err();
+        assert!(matches!(err, PersistError::WrongKind { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert!(CharTokenizer::load_from_string("").is_err());
+        assert!(CharTokenizer::load_from_string("nonsense header\nx").is_err());
+        assert!(BpeTokenizer::load_from_string(
+            "ratatouille-tokenizer v1 bpe\nnot numbers\n"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests on tokenizer invariants.
+
+use proptest::prelude::*;
+use ratatouille_tokenizers::{special, BpeTokenizer, CharTokenizer, Tokenizer, WordTokenizer};
+
+proptest! {
+    /// BPE is byte-complete: any string round-trips exactly, trained or not.
+    #[test]
+    fn bpe_roundtrips_arbitrary_text(s in "[a-z0-9 ,./-]{0,120}") {
+        let tok = BpeTokenizer::train(&["mix the flour with water and salt"], 64);
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    /// Char tokenizer round-trips text over its training alphabet.
+    #[test]
+    fn char_roundtrips_training_alphabet(s in "[a-z ]{0,80}") {
+        let tok = CharTokenizer::train(&["abcdefghijklmnopqrstuvwxyz "]);
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    /// All ids produced by encode are within the declared vocab size.
+    #[test]
+    fn ids_in_range(s in "[a-z 0-9]{0,100}") {
+        let corpus = ["the quick brown fox 0 1 2 3 4 5 6 7 8 9"];
+        let toks: Vec<Box<dyn Tokenizer>> = vec![
+            Box::new(CharTokenizer::train(&corpus)),
+            Box::new(WordTokenizer::train(&corpus, 1)),
+            Box::new(BpeTokenizer::train(&corpus, 32)),
+        ];
+        for tok in &toks {
+            for id in tok.encode(&s) {
+                prop_assert!((id as usize) < tok.vocab_size());
+            }
+        }
+    }
+
+    /// Word tokenizer never panics and decodes unknowns to <UNK>.
+    #[test]
+    fn word_tokenizer_total(s in "\\PC{0,60}") {
+        let tok = WordTokenizer::train(&["some training words"], 1);
+        let decoded = tok.decode(&tok.encode(&s));
+        // output is valid text mentioning only trained words or <UNK>
+        let all_known = decoded
+            .split_whitespace()
+            .all(|w| w == special::UNK || tok.vocab().id(w).is_some());
+        prop_assert!(all_known);
+    }
+
+    /// Specials embedded anywhere stay atomic for every tokenizer.
+    #[test]
+    fn specials_atomic_everywhere(pre in "[a-z ]{0,20}", post in "[a-z ]{0,20}") {
+        let text = format!("{pre}{}{post}", special::NEXT_INGR);
+        let corpus = [text.clone(), "abcdefghijklmnopqrstuvwxyz ".to_string()];
+        let toks: Vec<Box<dyn Tokenizer>> = vec![
+            Box::new(CharTokenizer::train(&corpus)),
+            Box::new(WordTokenizer::train(&corpus, 1)),
+            Box::new(BpeTokenizer::train(&corpus, 16)),
+        ];
+        for tok in &toks {
+            let ids = tok.encode(&text);
+            let tag_id = tok.special_id(special::NEXT_INGR).unwrap();
+            prop_assert_eq!(ids.iter().filter(|&&i| i == tag_id).count(), 1);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Fusion cuisine: explore the region-conditioned culinary space.
+//!
+//! RecipeDB's pitch is "scientific exploration of the culinary space";
+//! this example walks it: region-conditioned corpus statistics, flavor-
+//! molecule profiles (the FlavorDB link), and cross-region generation —
+//! prompting the model with an ingredient set that mixes two regions'
+//! signatures.
+//!
+//! ```text
+//! cargo run --release --example fusion_cuisine
+//! ```
+
+use ratatouille::models::registry::ModelKind;
+use ratatouille::models::train::TrainConfig;
+use ratatouille::recipedb::diet::{classify, filter_by_diet, Diet};
+use ratatouille::recipedb::grammar::{DishKind, RecipeGenerator};
+use ratatouille::recipedb::stats::ingredient_frequencies;
+use ratatouille::{Pipeline, PipelineConfig};
+
+fn main() {
+    // 1. What does each region actually cook with? Generate
+    //    region-conditioned recipes and count.
+    let mut gen = RecipeGenerator::new(7);
+    let mut signatures = Vec::new();
+    for region in ["Chinese", "Mexican"] {
+        let recipes: Vec<_> = (0..120)
+            .map(|_| gen.generate_dish(region, DishKind::StirFry))
+            .collect();
+        let refs: Vec<&_> = recipes.iter().collect();
+        let freqs = ingredient_frequencies(&refs);
+        let top: Vec<String> = freqs.iter().take(6).map(|(n, c)| format!("{n} ({c})")).collect();
+        println!("{region} stir-fry signature: {}", top.join(", "));
+        signatures.push(freqs);
+    }
+
+    // 2. Flavor profile of one recipe (the FlavorDB-style link).
+    let sample = gen.generate_dish("Chinese", DishKind::StirFry);
+    println!("\nflavor profile of '{}':", sample.title);
+    println!("  molecules: {}", sample.flavor_profile().join(", "));
+    let n = sample.nutrition();
+    println!(
+        "  nutrition: {:.0} kcal, {:.0} g protein, {:.0} g fat, {:.0} g carbs",
+        n.kcal, n.protein_g, n.fat_g, n.carbs_g
+    );
+    println!("  dietary styles: {:?}", classify(&sample));
+    // and how would we veganize it?
+    for line in sample.ingredients.iter().take(6) {
+        let subs = ratatouille::recipedb::ontology::substitutes(&line.name);
+        if let Some(s) = subs.first() {
+            println!("    swap {} → {} ({})", s.from, s.to, s.note);
+        }
+    }
+
+    // Dietary slice of the culinary space (RecipeDB's DietRx-style link).
+    let survey: Vec<_> = (0..200).map(|_| gen.generate()).collect();
+    for diet in [Diet::Vegetarian, Diet::Vegan, Diet::GlutenFree] {
+        let k = filter_by_diet(&survey, diet).len();
+        println!("  {diet:?}: {k}/200 generated recipes qualify");
+    }
+    println!();
+
+    // 3. Fusion generation: prompt with a cross-region pantry.
+    let pipeline = Pipeline::prepare(PipelineConfig::small());
+    let trained = pipeline.train(
+        ModelKind::Gpt2Medium,
+        Some(TrainConfig {
+            steps: 150,
+            batch_size: 8,
+            ..Default::default()
+        }),
+    );
+    let fusion_pantry: Vec<String> = vec![
+        // Chinese signature…
+        "soy sauce".into(),
+        "ginger".into(),
+        // …meets Mexican signature
+        "black beans".into(),
+        "lime".into(),
+        "cilantro".into(),
+    ];
+    println!("fusion pantry: {}", fusion_pantry.join(", "));
+    let recipe = trained.generate_recipe(&fusion_pantry, 3);
+    println!("\n=== {} ===", recipe.title);
+    for line in &recipe.ingredients {
+        println!("  • {line}");
+    }
+    for (i, step) in recipe.instructions.iter().enumerate() {
+        println!("  {}. {step}", i + 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Model bakeoff: a miniature Table I in example form.
+//!
+//! Trains all four paper models with a small equal-time budget and
+//! compares loss trajectories, parameter counts and generation latency —
+//! a fast way to *see* why the paper's ordering comes out the way it
+//! does before committing to the full `table1_bleu` run.
+//!
+//! ```text
+//! cargo run --release --example model_bakeoff
+//! ```
+
+use std::time::Instant;
+
+use ratatouille::models::registry::TABLE1_MODELS;
+use ratatouille::models::train::TrainConfig;
+use ratatouille::{Pipeline, PipelineConfig};
+
+fn main() {
+    let pipeline = Pipeline::prepare(PipelineConfig::small());
+    println!(
+        "corpus: {} training texts · {} held-out recipes\n",
+        pipeline.train_texts.len(),
+        pipeline.test_recipes.len()
+    );
+    println!(
+        "{:<18} {:>10} {:>8} {:>10} {:>10} {:>10}",
+        "model", "params", "vocab", "loss@0", "loss@end", "ms/recipe"
+    );
+    println!("{}", "-".repeat(72));
+
+    for &kind in TABLE1_MODELS {
+        let trained = pipeline.train(
+            kind,
+            Some(TrainConfig {
+                steps: 60,
+                batch_size: 4,
+                ..Default::default()
+            }),
+        );
+        let start_loss = trained.stats.losses.first().copied().unwrap_or(f32::NAN);
+        let end_loss = trained.stats.final_loss(10);
+
+        let ingredients = vec!["chicken".to_string(), "onion".to_string()];
+        let t0 = Instant::now();
+        let _ = trained.generate_recipe(&ingredients, 1);
+        let latency = t0.elapsed().as_secs_f64() * 1000.0;
+
+        println!(
+            "{:<18} {:>10} {:>8} {:>10.3} {:>10.3} {:>10.1}",
+            trained.spec.model.name(),
+            trained.spec.model.num_params(),
+            trained.spec.tokenizer.vocab_size(),
+            start_loss,
+            end_loss,
+            latency
+        );
+    }
+    println!("\nnote: equal tiny budgets — run `table1_bleu` for the calibrated reproduction.");
+}

@@ -1,0 +1,75 @@
+//! Pantry chef: give it what's in your pantry, get ranked recipe
+//! candidates.
+//!
+//! Demonstrates conditional generation + the evaluation toolkit as a
+//! *ranking* signal: several candidates are sampled with different seeds
+//! and ranked by structural validity, ingredient coverage and novelty.
+//!
+//! ```text
+//! cargo run --release --example pantry_chef -- chicken rice "soy sauce" ginger
+//! ```
+
+use ratatouille::eval::coverage::ingredient_coverage;
+use ratatouille::eval::novelty::novel_ngram_fraction;
+use ratatouille::models::registry::ModelKind;
+use ratatouille::models::train::TrainConfig;
+use ratatouille::{Pipeline, PipelineConfig};
+
+fn main() {
+    let mut pantry: Vec<String> = std::env::args().skip(1).collect();
+    if pantry.is_empty() {
+        pantry = vec!["chicken".into(), "rice".into(), "soy sauce".into(), "ginger".into()];
+        println!("(no pantry given; using default: {pantry:?})\n");
+    }
+
+    let pipeline = Pipeline::prepare(PipelineConfig::small());
+    let trained = pipeline.train(
+        ModelKind::Gpt2Medium,
+        Some(TrainConfig {
+            steps: 150,
+            batch_size: 8,
+            log_every: 50,
+            ..Default::default()
+        }),
+    );
+
+    // Sample several candidates and rank them.
+    const CANDIDATES: u64 = 4;
+    let mut scored = Vec::new();
+    for seed in 0..CANDIDATES {
+        let recipe = trained.generate_recipe(&pantry, seed);
+        let tagged = trained.generate_tagged(&pantry, seed);
+        let structure = if recipe.well_formed { 1.0 } else { 0.0 };
+        let cov = ingredient_coverage(&pantry, &recipe.ingredients, &recipe.instructions);
+        let coverage = cov.in_ingredient_list.max(cov.in_instructions);
+        let novelty = novel_ngram_fraction(&tagged, &trained.train_texts, 4);
+        let score = 2.0 * structure + 2.0 * coverage + novelty;
+        scored.push((score, structure, coverage, novelty, recipe));
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    println!("\nPANTRY: {}", pantry.join(", "));
+    println!("{} candidates, ranked:\n", scored.len());
+    for (rank, (score, structure, coverage, novelty, recipe)) in scored.iter().enumerate() {
+        println!(
+            "#{} — {} (score {:.2}: structure {:.0}, pantry coverage {:.0}%, novelty {:.0}%)",
+            rank + 1,
+            recipe.title,
+            score,
+            structure,
+            coverage * 100.0,
+            novelty * 100.0
+        );
+        if rank == 0 {
+            println!("  Ingredients:");
+            for line in &recipe.ingredients {
+                println!("    • {line}");
+            }
+            println!("  Instructions:");
+            for (i, step) in recipe.instructions.iter().enumerate() {
+                println!("    {}. {step}", i + 1);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! The web application (Fig. 4): train a model, boot the decoupled
+//! frontend/backend stack, and serve recipes over HTTP.
+//!
+//! By default runs a self-contained demo (boots, fires client requests,
+//! exits). Pass `--serve` to keep the server running for a browser:
+//!
+//! ```text
+//! cargo run --release --example recipe_server            # demo round trip
+//! cargo run --release --example recipe_server -- --serve # then open the printed URL
+//! ```
+
+use ratatouille::models::registry::ModelKind;
+use ratatouille::models::train::TrainConfig;
+use ratatouille::serving::api::ApiServer;
+use ratatouille::serving::client::HttpClient;
+use ratatouille::{Pipeline, PipelineConfig};
+
+fn main() {
+    let serve_forever = std::env::args().any(|a| a == "--serve");
+
+    println!("training the serving model…");
+    let pipeline = Pipeline::prepare(PipelineConfig::small());
+    let trained = pipeline.train(
+        ModelKind::DistilGpt2,
+        Some(TrainConfig {
+            steps: 150,
+            batch_size: 8,
+            log_every: 50,
+            ..Default::default()
+        }),
+    );
+
+    // 3 worker replicas — the paper's "replicate the docker" scaling knob.
+    let server = ApiServer::start("127.0.0.1:0", 3, 32, trained.backend_factory())
+        .expect("failed to bind");
+    println!("\nRatatouille is serving:");
+    println!("  frontend:  http://{}/", server.addr());
+    println!("  health:    http://{}/api/health", server.addr());
+    println!("  generate:  POST http://{}/api/generate", server.addr());
+
+    if serve_forever {
+        println!("\nserving until Ctrl+C…");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    // Demo round trip.
+    let client = HttpClient::new(server.addr());
+    let (status, body) = client.get("/api/health").unwrap();
+    println!("\nGET /api/health → {status}\n  {body}");
+    for pantry in [
+        r#"{"ingredients":["chicken","garlic","rice"]}"#,
+        r#"{"ingredients":["flour","butter","sugar"]}"#,
+    ] {
+        let (status, body) = client.post_json("/api/generate", pantry).unwrap();
+        println!("\nPOST /api/generate {pantry}\n  → {status}\n  {body}");
+    }
+    server.stop();
+    println!("\nserver stopped cleanly");
+}

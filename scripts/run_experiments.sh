@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact sequentially, teeing outputs to /tmp.
+# Usage: scripts/run_experiments.sh [quick|standard|full]
+set -u
+SCALE="${1:-quick}"
+BIN=./target/release
+OUT=/tmp/ratatouille-experiments
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"; shift
+  echo "=== $name (scale=$SCALE) ==="
+  RATATOUILLE_SCALE=$SCALE "$@" > "$OUT/$name.txt" 2>&1
+  echo "    exit=$? -> $OUT/$name.txt"
+}
+
+run training_speedup   "$BIN/training_speedup"
+run fig3               "$BIN/fig3_generation_flow"
+run fig4               "$BIN/fig4_web_generate"
+run fig5               "$BIN/fig5_sample_recipe"
+run ablation_sampling  "$BIN/ablation_sampling"
+run future_work_gptneo "$BIN/future_work_gptneo"
+echo "all experiments done"

@@ -1,0 +1,8 @@
+//! Umbrella crate for the Ratatouille reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). All functionality lives
+//! in the member crates; the public API a downstream user should depend on
+//! is the [`ratatouille`] crate.
+
+pub use ratatouille;

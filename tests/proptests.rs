@@ -1,0 +1,98 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! generated recipe / corpus / request, not just the examples we thought
+//! of.
+
+use proptest::prelude::*;
+use ratatouille::eval::bleu::sentence_bleu;
+use ratatouille::eval::structure::validate_tagged_recipe;
+use ratatouille::recipedb::grammar::{RecipeGenerator, ALL_DISH_KINDS};
+use ratatouille::recipedb::preprocess::parse_raw;
+use ratatouille::serving::json::Json;
+use ratatouille::tokenizers::{BpeTokenizer, CharTokenizer, Tokenizer, WordTokenizer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every recipe the grammar can produce renders to a tagged string
+    /// that passes structural validation — the corpus is well-formed by
+    /// construction.
+    #[test]
+    fn any_generated_recipe_is_structurally_valid(seed in 0u64..10_000) {
+        let mut g = RecipeGenerator::new(seed);
+        let recipe = g.generate();
+        let report = validate_tagged_recipe(&recipe.to_tagged_string());
+        prop_assert!(report.valid, "seed {seed}: {:?}", report.errors);
+        prop_assert_eq!(report.quantity_coverage(), 1.0);
+    }
+
+    /// Every raw rendering parses back to the same section structure.
+    #[test]
+    fn raw_roundtrip_preserves_structure(seed in 0u64..10_000, kind_idx in 0usize..10) {
+        let mut g = RecipeGenerator::new(seed);
+        let recipe = g.generate_dish("US General", ALL_DISH_KINDS[kind_idx]);
+        let parsed = parse_raw(&recipe.to_raw_string());
+        prop_assert!(parsed.is_some(), "seed {seed} failed to parse");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(parsed.title, recipe.title.to_lowercase());
+        prop_assert_eq!(parsed.instructions.len(), recipe.instructions.len());
+    }
+
+    /// Tagged recipes tokenize within vocab bounds and BPE round-trips
+    /// exactly, for every tokenizer, for any seed.
+    #[test]
+    fn tokenizers_handle_any_recipe(seed in 0u64..10_000) {
+        let mut g = RecipeGenerator::new(seed);
+        let texts: Vec<String> = (0..3).map(|_| g.generate().to_tagged_string()).collect();
+        let char_tok = CharTokenizer::train(&texts);
+        let word_tok = WordTokenizer::train(&texts, 1);
+        let bpe_tok = BpeTokenizer::train(&texts, 64);
+        for t in &texts {
+            for tok in [&char_tok as &dyn Tokenizer, &word_tok, &bpe_tok] {
+                let ids = tok.encode(t);
+                prop_assert!(ids.iter().all(|&i| (i as usize) < tok.vocab_size()));
+            }
+            prop_assert_eq!(&bpe_tok.decode(&bpe_tok.encode(t)), t);
+            prop_assert_eq!(&char_tok.decode(&char_tok.encode(t)), t);
+        }
+    }
+
+    /// BLEU of a recipe against itself is 1; against a different recipe
+    /// it is strictly less; always within [0, 1].
+    #[test]
+    fn bleu_invariants_on_recipes(seed in 0u64..10_000) {
+        let mut g = RecipeGenerator::new(seed);
+        let a = g.generate().to_tagged_string();
+        let b = g.generate().to_tagged_string();
+        let self_score = sentence_bleu(&a, &[&a]);
+        prop_assert!((self_score - 1.0).abs() < 1e-9);
+        let cross = sentence_bleu(&a, &[&b]);
+        prop_assert!((0.0..=1.0).contains(&cross));
+        if a != b {
+            prop_assert!(cross < 1.0);
+        }
+    }
+
+    /// The API's JSON layer round-trips arbitrary ingredient strings
+    /// (quotes, backslashes, unicode) without corruption.
+    #[test]
+    fn json_roundtrips_arbitrary_ingredients(items in proptest::collection::vec("[\\PC\"\\\\]{0,20}", 0..6)) {
+        let v = Json::object(vec![("ingredients", Json::string_array(&items))]);
+        let back = Json::parse(&v.to_string()).unwrap();
+        prop_assert_eq!(back.get("ingredients").unwrap().as_string_vec(), items);
+    }
+
+    /// Nutrition aggregation is monotone: doubling every quantity at
+    /// least doubles no nutrient downward (all fields scale up).
+    #[test]
+    fn nutrition_scales_with_quantity(seed in 0u64..10_000) {
+        let mut g = RecipeGenerator::new(seed);
+        let mut recipe = g.generate();
+        let n1 = recipe.nutrition();
+        for line in recipe.ingredients.iter_mut() {
+            line.qty.0 *= 2.0;
+        }
+        let n2 = recipe.nutrition();
+        prop_assert!(n2.kcal >= n1.kcal);
+        prop_assert!((n2.kcal - 2.0 * n1.kcal).abs() < 1e-2 * (1.0 + n1.kcal.abs()));
+    }
+}

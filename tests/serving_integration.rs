@@ -1,0 +1,105 @@
+//! Serving-stack integration: trained model → worker-pool replicas →
+//! HTTP server → client → JSON → structured recipe.
+
+use ratatouille::models::registry::ModelKind;
+use ratatouille::models::train::TrainConfig;
+use ratatouille::serving::api::ApiServer;
+use ratatouille::serving::client::HttpClient;
+use ratatouille::serving::json::Json;
+use ratatouille::{Pipeline, PipelineConfig, TrainedModel};
+
+fn trained_model() -> TrainedModel {
+    let mut cfg = PipelineConfig::small();
+    cfg.corpus.num_recipes = 80;
+    let pipeline = Pipeline::prepare(cfg);
+    pipeline.train(
+        ModelKind::WordLstm,
+        Some(TrainConfig {
+            steps: 3,
+            batch_size: 2,
+            ..Default::default()
+        }),
+    )
+}
+
+#[test]
+fn serve_generate_parse_roundtrip() {
+    let trained = trained_model();
+    let server = ApiServer::start("127.0.0.1:0", 2, 8, trained.backend_factory()).unwrap();
+    let client = HttpClient::new(server.addr());
+
+    // health
+    let (status, body) = client.get("/api/health").unwrap();
+    assert_eq!(status, 200);
+    let health = Json::parse(&body).unwrap();
+    assert_eq!(health.get("workers").unwrap().as_f64(), Some(2.0));
+
+    // model card matches the trained model
+    let (_, body) = client.get("/api/models").unwrap();
+    assert!(body.contains("Word-level LSTM"), "{body}");
+
+    // generation round trip
+    let (status, body) = client
+        .post_json("/api/generate", r#"{"ingredients":["flour","water"]}"#)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert!(v.get("title").unwrap().as_str().is_some());
+    assert!(v.get("latency_ms").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(v.get("well_formed").unwrap().as_bool().is_some());
+
+    server.stop();
+}
+
+#[test]
+fn concurrent_requests_hit_different_replicas() {
+    let trained = trained_model();
+    let server = ApiServer::start("127.0.0.1:0", 3, 16, trained.backend_factory()).unwrap();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                let (status, body) = client
+                    .post_json("/api/generate", r#"{"ingredients":["rice","egg"]}"#)
+                    .unwrap();
+                assert_eq!(status, 200, "{body}");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.stop();
+}
+
+#[test]
+fn api_input_validation() {
+    let trained = trained_model();
+    let server = ApiServer::start("127.0.0.1:0", 1, 4, trained.backend_factory()).unwrap();
+    let client = HttpClient::new(server.addr());
+    for (body, expect) in [
+        ("not json", 400),
+        ("{}", 400),
+        (r#"{"ingredients":[]}"#, 400),
+        (r#"{"ingredients":[1,2,3]}"#, 400),
+    ] {
+        let (status, _) = client.post_json("/api/generate", body).unwrap();
+        assert_eq!(status, expect, "body {body:?}");
+    }
+    let (status, _) = client.get("/api/generate").unwrap();
+    assert_eq!(status, 405, "GET on POST route");
+    server.stop();
+}
+
+#[test]
+fn frontend_ships_with_server() {
+    let trained = trained_model();
+    let server = ApiServer::start("127.0.0.1:0", 1, 4, trained.backend_factory()).unwrap();
+    let client = HttpClient::new(server.addr());
+    let (status, body) = client.get("/").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("Ratatouille"));
+    assert!(body.contains("/api/generate"));
+    server.stop();
+}
