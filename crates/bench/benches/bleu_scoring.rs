@@ -1,12 +1,13 @@
 //! Cost of the evaluation metrics themselves (BLEU dominates the Table-I
 //! harness's post-training time).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ratatouille_util::bench::{Bench, Throughput};
+use ratatouille_util::{bench_group, bench_main};
 use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
 use ratatouille_eval::bleu::{corpus_bleu, sentence_bleu};
 use ratatouille_eval::diversity::{distinct_n, self_bleu};
 
-fn bench_bleu(c: &mut Criterion) {
+fn bench_bleu(c: &mut Bench) {
     let corpus = Corpus::generate(CorpusConfig {
         num_recipes: 80,
         ..CorpusConfig::default()
@@ -37,5 +38,6 @@ fn bench_bleu(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bleu);
-criterion_main!(benches);
+bench_group!(
+    benches, bench_bleu);
+bench_main!(benches);

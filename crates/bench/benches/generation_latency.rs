@@ -9,15 +9,16 @@
 //! Latency is weight-independent, so models are benchmarked at init
 //! (training does not change op counts).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::bench::{Bench, BenchmarkId};
+use ratatouille_util::{bench_group, bench_main};
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 use ratatouille::models::registry::{ModelSpec, TABLE1_MODELS};
 use ratatouille::models::sample::{generate, SamplerConfig};
 use ratatouille::pipeline::prompt_for;
 use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
 
-fn bench_generation(c: &mut Criterion) {
+fn bench_generation(c: &mut Bench) {
     let corpus = Corpus::generate(CorpusConfig {
         num_recipes: 120,
         ..CorpusConfig::default()
@@ -51,7 +52,7 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_per_token(c: &mut Criterion) {
+fn bench_per_token(c: &mut Bench) {
     let corpus = Corpus::generate(CorpusConfig {
         num_recipes: 120,
         ..CorpusConfig::default()
@@ -70,12 +71,13 @@ fn bench_per_token(c: &mut Criterion) {
                         std::hint::black_box(stream.push(2 + (t % 4)));
                     }
                 },
-                criterion::BatchSize::SmallInput,
+                ratatouille_util::bench::BatchSize::SmallInput,
             )
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_per_token);
-criterion_main!(benches);
+bench_group!(
+    benches, bench_generation, bench_per_token);
+bench_main!(benches);

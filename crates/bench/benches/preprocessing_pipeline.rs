@@ -1,12 +1,13 @@
 //! Throughput of the §III preprocessing pipeline (Fig. 1 → Fig. 2):
 //! corpus generation, the full cleaning pass, and the raw-record parser.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ratatouille_util::bench::{Bench, BenchmarkId, Throughput};
+use ratatouille_util::{bench_group, bench_main};
 use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
 use ratatouille::recipedb::grammar::RecipeGenerator;
 use ratatouille::recipedb::preprocess::{parse_raw, PreprocessConfig, Preprocessor};
 
-fn bench_generation(c: &mut Criterion) {
+fn bench_generation(c: &mut Bench) {
     let mut group = c.benchmark_group("corpus_generation");
     group.sample_size(10);
     for &n in &[100usize, 500] {
@@ -21,7 +22,7 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline(c: &mut Bench) {
     let corpus = Corpus::generate(CorpusConfig {
         num_recipes: 500,
         ..CorpusConfig::default()
@@ -40,5 +41,6 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_pipeline);
-criterion_main!(benches);
+bench_group!(
+    benches, bench_generation, bench_pipeline);
+bench_main!(benches);

@@ -5,7 +5,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ratatouille_util::bench::{Bench, BenchmarkId, Throughput};
+use ratatouille_util::{bench_group, bench_main};
 use ratatouille::backend::ModelBackend;
 use ratatouille::models::registry::ModelKind;
 use ratatouille::models::sample::SamplerConfig;
@@ -43,7 +44,7 @@ fn fast_factory() -> RecipeBackendFactory {
     })
 }
 
-fn bench_workers(c: &mut Criterion) {
+fn bench_workers(c: &mut Bench) {
     let factory = fast_factory();
     let mut group = c.benchmark_group("serving_throughput");
     group.sample_size(10);
@@ -80,5 +81,6 @@ fn bench_workers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workers);
-criterion_main!(benches);
+bench_group!(
+    benches, bench_workers);
+bench_main!(benches);

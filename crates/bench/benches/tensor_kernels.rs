@@ -2,12 +2,13 @@
 //! that dominate training wall-clock (and therefore the CPU-vs-parallel
 //! experiment): matmul, softmax, layer norm, and a full autograd step.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::bench::{Bench, BenchmarkId, Throughput};
+use ratatouille_util::{bench_group, bench_main};
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 use ratatouille_tensor::{init, ops, par, Var};
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul(c: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(0);
     let mut group = c.benchmark_group("matmul");
     for &n in &[64usize, 128, 256] {
@@ -21,7 +22,7 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_matmul_threads(c: &mut Criterion) {
+fn bench_matmul_threads(c: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(0);
     let n = 256;
     let a = init::randn(&mut rng, &[n, n], 1.0);
@@ -37,7 +38,7 @@ fn bench_matmul_threads(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_softmax_layernorm(c: &mut Criterion) {
+fn bench_softmax_layernorm(c: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(1);
     let x = init::randn(&mut rng, &[64, 512], 1.0);
     let g = init::randn(&mut rng, &[512], 0.1);
@@ -54,7 +55,7 @@ fn bench_softmax_layernorm(c: &mut Criterion) {
     });
 }
 
-fn bench_autograd_step(c: &mut Criterion) {
+fn bench_autograd_step(c: &mut Bench) {
     // forward+backward through a 2-layer MLP: the autograd tape overhead
     let mut rng = StdRng::seed_from_u64(2);
     let w1 = Var::leaf(init::xavier_uniform(&mut rng, 128, 256));
@@ -71,11 +72,11 @@ fn bench_autograd_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_matmul,
     bench_matmul_threads,
     bench_softmax_layernorm,
     bench_autograd_step
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -2,11 +2,12 @@
 //! part of the preprocessing-cost story ("taking more processing time in
 //! generating a recipe" is the paper's critique of prior pipelines).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ratatouille_util::bench::{Bench, BenchmarkId, Throughput};
+use ratatouille_util::{bench_group, bench_main};
 use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
 use ratatouille::tokenizers::{BpeTokenizer, CharTokenizer, Tokenizer, WordTokenizer};
 
-fn bench_tokenizers(c: &mut Criterion) {
+fn bench_tokenizers(c: &mut Bench) {
     let corpus = Corpus::generate(CorpusConfig {
         num_recipes: 200,
         ..CorpusConfig::default()
@@ -45,5 +46,6 @@ fn bench_tokenizers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tokenizers);
-criterion_main!(benches);
+bench_group!(
+    benches, bench_tokenizers);
+bench_main!(benches);

@@ -9,8 +9,8 @@
 //! RATATOUILLE_SCALE=quick cargo run --release -p ratatouille-bench --bin future_work_gptneo
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 use ratatouille::eval::bleu::corpus_bleu;
 use ratatouille::models::data::Dataset;
 use ratatouille::models::gptneo::{GptNeoConfig, GptNeoLm};

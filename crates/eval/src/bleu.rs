@@ -259,4 +259,70 @@ mod tests {
         // 2 of 4 unigrams match, lengths equal → bp = 1
         assert!((s - 0.5).abs() < 1e-9, "{s}");
     }
+
+    // ---- hand-computed reference scores ------------------------------
+    //
+    // Each test derives the expected value from the BLEU definition by
+    // hand (precisions, smoothing, brevity penalty) and pins the
+    // implementation to it exactly.
+
+    #[test]
+    fn handcomputed_bleu2_geometric_mean() {
+        // cand "a b c x" vs ref "a b c d":
+        //   p1 = 3/4 (a, b, c match), p2 = 2/3 ("a b", "b c" match)
+        //   equal lengths → bp = 1
+        //   BLEU-2 = sqrt(3/4 · 2/3) = sqrt(1/2)
+        let s = corpus_bleu_n(&[("a b c x", vec!["a b c d"])], 2);
+        let expected = (0.75f64 * (2.0 / 3.0)).sqrt();
+        assert!((s - expected).abs() < 1e-12, "{s} vs {expected}");
+        assert!((s - 0.707_106_781_186_547_5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handcomputed_brevity_penalty_exact() {
+        // cand "a b" vs ref "a b c d" at max_n = 1:
+        //   p1 = 2/2 = 1, cand_len 2 < ref_len 4
+        //   bp = exp(1 - 4/2) = e^-1
+        let s = corpus_bleu_n(&[("a b", vec!["a b c d"])], 1);
+        let expected = (-1.0f64).exp();
+        assert!((s - expected).abs() < 1e-12, "{s} vs {expected}");
+        assert!((s - 0.367_879_441_171_442_33).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handcomputed_zero_overlap_smoothing() {
+        // cand "a b c" vs ref "x y z", default max_n = 4:
+        //   no order matches anything; 4-grams don't exist (skipped),
+        //   smoothing 1 gives p_n = 0.1/total:
+        //   p1 = 0.1/3, p2 = 0.1/2, p3 = 0.1/1
+        //   BLEU = cbrt(1/30 · 1/20 · 1/10) = cbrt(1/6000), bp = 1
+        let s = sentence_bleu("a b c", &["x y z"]);
+        let expected = (1.0f64 / 6000.0).cbrt();
+        assert!((s - expected).abs() < 1e-12, "{s} vs {expected}");
+        assert!((s - 0.055_032_120_814_910_444).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handcomputed_clipping_exact() {
+        // cand "the the the" vs ref "the cat":
+        //   p1 clipped to 1/3 (ref has one "the"), p2 = 0.1/2, p3 = 0.1/1,
+        //   no 4-grams (skipped); cand_len 3 ≥ ref_len 2 → bp = 1
+        //   BLEU = cbrt(1/3 · 1/20 · 1/10) = cbrt(1/600)
+        let s = sentence_bleu("the the the", &["the cat"]);
+        let expected = (1.0f64 / 600.0).cbrt();
+        assert!((s - expected).abs() < 1e-12, "{s} vs {expected}");
+        assert!((s - 0.118_563_110_149_668_78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handcomputed_multi_reference_closest_length() {
+        // cand "a b c d e f" vs refs "a b c" (len 3) and "d e f g h i j"
+        // (len 7):
+        //   p1 = 6/6, p2 = 4/5 (ab, bc, de, ef), p3 = 2/4 (abc, def),
+        //   p4 = 0.1/3 (no 4-gram matches → smoothed)
+        //   closest ref length to 6 is 7 → bp = exp(1 - 7/6) = e^(-1/6)
+        let s = sentence_bleu("a b c d e f", &["a b c", "d e f g h i j"]);
+        let expected = (1.0f64 * 0.8 * 0.5 * (0.1 / 3.0)).powf(0.25) * (-1.0f64 / 6.0).exp();
+        assert!((s - expected).abs() < 1e-12, "{s} vs {expected}");
+    }
 }

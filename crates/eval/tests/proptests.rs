@@ -1,6 +1,6 @@
 //! Property-based tests on metric invariants.
 
-use proptest::prelude::*;
+use ratatouille_util::proptest::prelude::*;
 use ratatouille_eval::bleu::{corpus_bleu, sentence_bleu};
 use ratatouille_eval::coverage::ingredient_coverage;
 use ratatouille_eval::diversity::{distinct_n, self_bleu};
@@ -9,7 +9,7 @@ use ratatouille_eval::perplexity::perplexity_from_nll;
 use ratatouille_eval::rouge::rouge_l;
 
 fn words() -> impl Strategy<Value = String> {
-    proptest::collection::vec("[a-f]{1,4}", 1..20).prop_map(|v| v.join(" "))
+    collection::vec("[a-f]{1,4}", 1..20).prop_map(|v| v.join(" "))
 }
 
 proptest! {
@@ -26,7 +26,7 @@ proptest! {
 
     /// Corpus BLEU of identical pairs is 1 regardless of content.
     #[test]
-    fn corpus_bleu_reflexive(texts in proptest::collection::vec(words(), 1..6)) {
+    fn corpus_bleu_reflexive(texts in collection::vec(words(), 1..6)) {
         let pairs: Vec<(&str, Vec<&str>)> =
             texts.iter().map(|t| (t.as_str(), vec![t.as_str()])).collect();
         prop_assert!((corpus_bleu(&pairs) - 1.0).abs() < 1e-9);
@@ -44,7 +44,7 @@ proptest! {
 
     /// distinct-n is bounded and 1.0 when every n-gram is unique.
     #[test]
-    fn distinct_bounds(texts in proptest::collection::vec(words(), 1..5), n in 1usize..3) {
+    fn distinct_bounds(texts in collection::vec(words(), 1..5), n in 1usize..3) {
         let d = distinct_n(&texts, n);
         prop_assert!((0.0..=1.0).contains(&d));
     }
@@ -76,7 +76,7 @@ proptest! {
     /// Coverage fractions are bounded and total coverage implies no
     /// uncovered request.
     #[test]
-    fn coverage_bounds(req in proptest::collection::vec("[a-d]{1,3}", 0..4)) {
+    fn coverage_bounds(req in collection::vec("[a-d]{1,3}", 0..4)) {
         let lines: Vec<String> = req.iter().map(|r| format!("1 cup {r}")).collect();
         let cov = ingredient_coverage(&req, &lines, &[]);
         prop_assert!((cov.in_ingredient_list - 1.0).abs() < 1e-9);

@@ -152,8 +152,8 @@ mod tests {
     use super::*;
     use crate::lm::Batch;
     use crate::lstm::{LstmConfig, LstmLm};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ratatouille_util::rng::StdRng;
+    use ratatouille_util::rng::SeedableRng;
     use ratatouille_tensor::optim::{zero_grads, Adam, Optimizer};
 
     fn trained_cycle_model() -> LstmLm {

@@ -6,8 +6,8 @@
 //! slices the stream into `block_size + 1`-token windows so each window
 //! yields `(input, target)` pairs shifted by one.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::RngExt;
 use ratatouille_tokenizers::Tokenizer;
 
 use crate::lm::Batch;
@@ -152,7 +152,7 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ratatouille_util::rng::SeedableRng;
     use ratatouille_tokenizers::CharTokenizer;
 
     fn tok() -> CharTokenizer {

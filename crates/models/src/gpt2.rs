@@ -9,8 +9,8 @@
 //! [`Gpt2Config::medium`]). What Table I compares is relative capacity on
 //! the recipe task, which the tiers preserve.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 use ratatouille_tensor::{init, ops, Tensor, Var};
 
 use crate::lm::{Batch, LanguageModel, TokenStream};

@@ -8,8 +8,8 @@
 //! positions. This reproduction implements exactly that on top of the
 //! shared [`Block`] parameters, reusing GPT-2's embeddings and head.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 use ratatouille_tensor::{init, ops, Tensor, Var};
 
 use crate::lm::{Batch, LanguageModel, TokenStream};

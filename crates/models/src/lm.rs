@@ -1,6 +1,6 @@
 //! The common language-model interface.
 
-use rand::rngs::StdRng;
+use ratatouille_util::rng::StdRng;
 use ratatouille_tensor::{Tensor, Var};
 
 /// A training batch: `inputs[b][t]` predicts `targets[b][t]`. All rows are

@@ -7,8 +7,8 @@
 //! streaming path (for generation) are implemented and tested against
 //! each other.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 use ratatouille_tensor::{init, ops, Tensor, Var};
 
 use crate::lm::{Batch, LanguageModel, TokenStream};

@@ -1,8 +1,8 @@
 //! Decoding strategies: greedy, temperature, top-k and top-p (nucleus)
 //! sampling over an incremental [`TokenStream`].
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::RngExt;
 use ratatouille_tensor::{ops, Tensor};
 
 use crate::lm::LanguageModel;
@@ -135,7 +135,7 @@ pub fn select_token(logits: &Tensor, cfg: &SamplerConfig, rng: &mut StdRng) -> u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ratatouille_util::rng::SeedableRng;
 
     fn logits(values: &[f32]) -> Tensor {
         Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap()

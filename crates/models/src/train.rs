@@ -9,8 +9,8 @@
 
 use std::path::{Path, PathBuf};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 use ratatouille_tensor::optim::{clip_grad_norm, zero_grads, Adam, LrSchedule, Optimizer, WarmupCosine};
 use ratatouille_tensor::serialize::TensorMap;
 use ratatouille_tensor::{Tensor, TensorError};

@@ -7,7 +7,7 @@
 //!   O(T) per-token generation (the paper's complaint about RecipeGPT
 //!   was generation latency — the cache is the fix).
 
-use rand::rngs::StdRng;
+use ratatouille_util::rng::StdRng;
 use ratatouille_tensor::{init, ops, Tensor, Var};
 
 /// One transformer block's parameters.
@@ -242,7 +242,7 @@ impl KvCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ratatouille_util::rng::SeedableRng;
 
     #[test]
     fn forward_shape_preserved() {

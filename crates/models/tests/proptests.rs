@@ -1,21 +1,21 @@
 //! Property tests on model-layer invariants: the sampler's support
 //! guarantees and the dataset's batch alignment, for arbitrary inputs.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::proptest::prelude::*;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 use ratatouille_models::data::Dataset;
 use ratatouille_models::sample::{select_token, SamplerConfig};
 use ratatouille_tensor::Tensor;
 use ratatouille_tokenizers::{CharTokenizer, Tokenizer};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    cases = 32;
 
     /// top-k sampling never selects outside the k most likely tokens.
     #[test]
     fn top_k_support(
-        logits in proptest::collection::vec(-5.0f32..5.0, 4..32),
+        logits in collection::vec(-5.0f32..5.0, 4..32),
         k in 1usize..6,
         seed in 0u64..1000,
     ) {
@@ -39,7 +39,7 @@ proptest! {
     /// Greedy always picks the argmax, independent of the rng.
     #[test]
     fn greedy_is_argmax(
-        logits in proptest::collection::vec(-5.0f32..5.0, 2..20),
+        logits in collection::vec(-5.0f32..5.0, 2..20),
         seed in 0u64..100,
     ) {
         let t = Tensor::from_vec(logits.clone(), &[logits.len()]).unwrap();

@@ -8,8 +8,8 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 
 use ratatouille_eval::structure::validate_tagged_recipe;
 use ratatouille_models::registry::{build_model, ModelKind};

@@ -3,8 +3,8 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 
 use ratatouille_eval::bleu::corpus_bleu;
 use ratatouille_eval::coverage::ingredient_coverage;

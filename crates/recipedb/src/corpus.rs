@@ -1,8 +1,8 @@
 //! Corpus generation: the raw "as scraped" dataset with injected defects
 //! (Fig. 1), train/test splitting, and tagged-text rendering.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::{RngExt, SeedableRng};
 
 use crate::grammar::RecipeGenerator;
 use crate::recipe::Recipe;
@@ -114,7 +114,7 @@ impl Corpus {
             }
             if rng.random::<f64>() < config.noise_rate {
                 let artifact = ["!1", "&nbsp;", "\\u00bd", "  <br/>"]
-                    [rng.random_range(0..4)];
+                    [rng.random_range(0..4usize)];
                 text.push_str(artifact);
                 defect = defect.or(Some(Defect::NoiseArtifacts));
             }

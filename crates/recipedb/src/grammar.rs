@@ -17,8 +17,8 @@
 //!   phrasings, so corpus entropy is low enough for laptop-scale models
 //!   to learn while still distinguishing model capacities.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::{RngExt, SeedableRng};
 
 use crate::ontology::{self, Ingredient, IngredientCategory as Cat};
 use crate::recipe::{IngredientLine, Quantity, Recipe};

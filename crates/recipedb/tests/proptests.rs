@@ -2,14 +2,14 @@
 //! and parsing must uphold their invariants for every seed, not just the
 //! seeds unit tests happen to use.
 
-use proptest::prelude::*;
+use ratatouille_util::proptest::prelude::*;
 use ratatouille_recipedb::corpus::{Corpus, CorpusConfig};
 use ratatouille_recipedb::grammar::RecipeGenerator;
 use ratatouille_recipedb::preprocess::{parse_ingredient_line, PreprocessConfig, Preprocessor};
 use ratatouille_recipedb::recipe::Quantity;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    cases = 16;
 
     /// The generator is a pure function of its seed.
     #[test]

@@ -5,13 +5,14 @@
 //! equivalent: each worker thread owns a complete backend replica
 //! (models are not `Send`-shareable — they hold `Rc` autograd handles —
 //! so replication is also the natural ownership story), and requests flow
-//! through a bounded crossbeam channel. Backpressure is explicit: a full
+//! through a bounded `std::sync::mpsc` channel whose receiver is shared
+//! across workers behind a mutex. Backpressure is explicit: a full
 //! queue rejects immediately (the API maps it to 503), and a panicking
 //! replica is rebuilt from the factory without taking down the pool.
 
 use std::panic::AssertUnwindSafe;
-
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 
 /// Pool submission/communication errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,12 +37,12 @@ impl std::fmt::Display for PoolError {
 
 impl std::error::Error for PoolError {}
 
-type Job<J, R> = (J, Sender<Result<R, PoolError>>);
+type Job<J, R> = (J, SyncSender<Result<R, PoolError>>);
 
 /// A fixed-size pool of worker threads, each owning a replica built by
 /// the factory.
 pub struct WorkerPool<J: Send + 'static, R: Send + 'static> {
-    tx: Option<Sender<Job<J, R>>>,
+    tx: Option<SyncSender<Job<J, R>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     workers: usize,
 }
@@ -56,17 +57,26 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
         W: FnMut(J) -> R + 'static,
     {
         assert!(workers > 0, "need at least one worker");
-        let (tx, rx) = bounded::<Job<J, R>>(queue_cap.max(1));
+        let (tx, rx) = sync_channel::<Job<J, R>>(queue_cap.max(1));
+        // `std::sync::mpsc` receivers are single-consumer; sharing one
+        // behind a mutex makes the channel effectively MPMC. The lock is
+        // held only for the dequeue, never while a job runs.
+        let rx = Arc::new(Mutex::new(rx));
         let mut handles = Vec::with_capacity(workers);
         for wi in 0..workers {
-            let rx: Receiver<Job<J, R>> = rx.clone();
+            let rx: Arc<Mutex<Receiver<Job<J, R>>>> = Arc::clone(&rx);
             let factory = factory.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("model-worker-{wi}"))
                     .spawn(move || {
                         let mut replica = factory(wi);
-                        while let Ok((job, reply)) = rx.recv() {
+                        loop {
+                            let next = match rx.lock() {
+                                Ok(guard) => guard.recv(),
+                                Err(_) => break, // a holder panicked mid-dequeue
+                            };
+                            let Ok((job, reply)) = next else { break };
                             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                                 replica(job)
                             }));
@@ -100,11 +110,11 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
 
     /// Submit and wait. Rejects immediately when the queue is full.
     pub fn execute(&self, job: J) -> Result<R, PoolError> {
-        let (reply_tx, reply_rx) = bounded(1);
+        let (reply_tx, reply_rx) = sync_channel(1);
         let tx = self.tx.as_ref().ok_or(PoolError::Disconnected)?;
         tx.try_send((job, reply_tx)).map_err(|e| match e {
-            crossbeam::channel::TrySendError::Full(_) => PoolError::QueueFull,
-            crossbeam::channel::TrySendError::Disconnected(_) => PoolError::Disconnected,
+            TrySendError::Full(_) => PoolError::QueueFull,
+            TrySendError::Disconnected(_) => PoolError::Disconnected,
         })?;
         reply_rx.recv().map_err(|_| PoolError::Disconnected)?
     }

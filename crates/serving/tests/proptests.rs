@@ -1,7 +1,7 @@
 //! Property tests for the serving substrate: JSON totality and HTTP
 //! parser robustness (a public-facing parser must never panic).
 
-use proptest::prelude::*;
+use ratatouille_util::proptest::prelude::*;
 use ratatouille_serving::http::parse_request;
 use ratatouille_serving::json::Json;
 use std::io::Cursor;
@@ -35,7 +35,7 @@ proptest! {
 
     /// The HTTP request parser never panics on arbitrary bytes.
     #[test]
-    fn http_parser_is_total(input in proptest::collection::vec(any::<u8>(), 0..400)) {
+    fn http_parser_is_total(input in collection::vec(any::<u8>(), 0..400)) {
         let _ = parse_request(&mut Cursor::new(input));
     }
 

@@ -3,7 +3,7 @@
 //! The whitelisted `rand` crate ships only uniform sampling, so Gaussian
 //! draws use the Box–Muller transform implemented here.
 
-use rand::{Rng, RngExt};
+use ratatouille_util::rng::{Rng, RngExt};
 
 use crate::tensor::Tensor;
 
@@ -49,8 +49,8 @@ pub fn gpt2_normal(rng: &mut impl Rng, dims: &[usize]) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ratatouille_util::rng::StdRng;
+    use ratatouille_util::rng::SeedableRng;
 
     #[test]
     fn randn_moments() {

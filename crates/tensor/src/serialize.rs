@@ -16,12 +16,51 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::error::TensorError;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 8] = b"RTCKPT01";
+
+/// Little-endian cursor over a checkpoint payload; every read is
+/// bounds-checked so truncated payloads surface as `Corrupt` errors.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TensorError> {
+        if self.data.len() < n {
+            return Err(TensorError::Corrupt(format!("truncated {what}")));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, TensorError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16_le(&mut self, what: &str) -> Result<u16, TensorError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32_le(&mut self, what: &str) -> Result<u32, TensorError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64_le(&mut self, what: &str) -> Result<u64, TensorError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f32_le(&mut self, what: &str) -> Result<f32, TensorError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+}
 
 /// An ordered, named collection of tensors (a checkpoint section).
 ///
@@ -76,31 +115,31 @@ impl TensorMap {
     }
 
     /// Serialize to bytes (with trailing checksum).
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(self.entries.len() as u32);
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
         for (name, t) in &self.entries {
             assert!(name.len() <= u16::MAX as usize, "tensor name too long");
-            buf.put_u16_le(name.len() as u16);
-            buf.put_slice(name.as_bytes());
+            buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
             assert!(t.rank() <= u8::MAX as usize);
-            buf.put_u8(t.rank() as u8);
+            buf.push(t.rank() as u8);
             for &d in t.dims() {
-                buf.put_u32_le(d as u32);
+                buf.extend_from_slice(&(d as u32).to_le_bytes());
             }
-            buf.put_u64_le(t.numel() as u64);
+            buf.extend_from_slice(&(t.numel() as u64).to_le_bytes());
             for &v in t.data() {
-                buf.put_f32_le(v);
+                buf.extend_from_slice(&v.to_le_bytes());
             }
         }
         let sum = fnv1a(&buf);
-        buf.put_u64_le(sum);
-        buf.freeze()
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
     }
 
     /// Deserialize from bytes, verifying magic and checksum.
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self, TensorError> {
+    pub fn from_bytes(data: &[u8]) -> Result<Self, TensorError> {
         if data.len() < MAGIC.len() + 4 + 8 {
             return Err(TensorError::Corrupt("payload too short".into()));
         }
@@ -112,52 +151,40 @@ impl TensorMap {
                 "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
             )));
         }
-        data = body;
-        let mut magic = [0u8; 8];
-        data.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        let mut r = Reader { data: body };
+        let magic = r.take(8, "magic")?;
+        if magic != MAGIC {
             return Err(TensorError::Corrupt(format!(
                 "bad magic {:?}",
-                String::from_utf8_lossy(&magic)
+                String::from_utf8_lossy(magic)
             )));
         }
-        let count = data.get_u32_le() as usize;
+        let count = r.u32_le("count")? as usize;
         let mut map = TensorMap::new();
         for _ in 0..count {
-            if data.remaining() < 2 {
-                return Err(TensorError::Corrupt("truncated entry header".into()));
-            }
-            let name_len = data.get_u16_le() as usize;
-            if data.remaining() < name_len + 1 {
-                return Err(TensorError::Corrupt("truncated name".into()));
-            }
-            let mut name_buf = vec![0u8; name_len];
-            data.copy_to_slice(&mut name_buf);
-            let name = String::from_utf8(name_buf)
+            let name_len = r.u16_le("entry header")? as usize;
+            let name = String::from_utf8(r.take(name_len, "name")?.to_vec())
                 .map_err(|_| TensorError::Corrupt("non-utf8 tensor name".into()))?;
-            let rank = data.get_u8() as usize;
-            if data.remaining() < rank * 4 + 8 {
-                return Err(TensorError::Corrupt("truncated dims".into()));
-            }
+            let rank = r.u8("rank")? as usize;
             let mut dims = Vec::with_capacity(rank);
             for _ in 0..rank {
-                dims.push(data.get_u32_le() as usize);
+                dims.push(r.u32_le("dims")? as usize);
             }
-            let numel = data.get_u64_le() as usize;
+            let numel = r.u64_le("numel")? as usize;
             let expected: usize = dims.iter().product();
             if numel != expected {
                 return Err(TensorError::Corrupt(format!(
                     "tensor `{name}`: numel {numel} != dims product {expected}"
                 )));
             }
-            if data.remaining() < numel * 4 {
+            if r.remaining() < numel * 4 {
                 return Err(TensorError::Corrupt(format!(
                     "tensor `{name}`: truncated data"
                 )));
             }
             let mut values = Vec::with_capacity(numel);
             for _ in 0..numel {
-                values.push(data.get_f32_le());
+                values.push(r.f32_le("tensor data")?);
             }
             map.insert(name, Tensor::from_vec(values, &dims).map_err(|e| {
                 TensorError::Corrupt(format!("bad tensor in checkpoint: {e}"))

@@ -392,7 +392,7 @@ impl Var {
 
     /// Inverted dropout with keep-probability `1 - p`; identity when
     /// `p == 0`. The mask is drawn from `rng` so training is reproducible.
-    pub fn dropout(&self, p: f32, rng: &mut impl rand::RngExt) -> Var {
+    pub fn dropout(&self, p: f32, rng: &mut impl ratatouille_util::rng::RngExt) -> Var {
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
         if p == 0.0 {
             return self.clone();
@@ -432,8 +432,8 @@ fn softmax_backward(dy: &Tensor, p: &Tensor) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use ratatouille_util::rng::StdRng;
+    use ratatouille_util::rng::{RngExt, SeedableRng};
 
     /// Central finite-difference check: builds the graph with `f`, runs
     /// backward, and compares each input's gradient against a numeric

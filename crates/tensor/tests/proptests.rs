@@ -1,6 +1,6 @@
 //! Property-based tests on tensor-library invariants.
 
-use proptest::prelude::*;
+use ratatouille_util::proptest::prelude::*;
 use ratatouille_tensor::serialize::TensorMap;
 use ratatouille_tensor::{ops, Tensor, Var};
 
@@ -9,8 +9,8 @@ fn tensor_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
     (1usize..4, 1usize..5).prop_flat_map(|(r, c)| {
         let n = r * c;
         (
-            proptest::collection::vec(-10.0f32..10.0, n..=n),
-            proptest::collection::vec(-10.0f32..10.0, n..=n),
+            collection::vec(-10.0f32..10.0, n..=n),
+            collection::vec(-10.0f32..10.0, n..=n),
         )
             .prop_map(move |(a, b)| {
                 (
@@ -33,7 +33,7 @@ proptest! {
 
     /// Softmax rows are a probability distribution, for any input.
     #[test]
-    fn softmax_is_distribution(data in proptest::collection::vec(-50.0f32..50.0, 1..40)) {
+    fn softmax_is_distribution(data in collection::vec(-50.0f32..50.0, 1..40)) {
         let n = data.len();
         let t = Tensor::from_vec(data, &[n]).unwrap();
         let s = ops::softmax_last(&t);
@@ -46,9 +46,9 @@ proptest! {
     /// matmul distributes over addition: A(B + C) = AB + AC.
     #[test]
     fn matmul_distributes(
-        a in proptest::collection::vec(-3.0f32..3.0, 6..=6),
-        b in proptest::collection::vec(-3.0f32..3.0, 8..=8),
-        c in proptest::collection::vec(-3.0f32..3.0, 8..=8),
+        a in collection::vec(-3.0f32..3.0, 6..=6),
+        b in collection::vec(-3.0f32..3.0, 8..=8),
+        c in collection::vec(-3.0f32..3.0, 8..=8),
     ) {
         let a = Tensor::from_vec(a, &[3, 2]).unwrap();
         let b = Tensor::from_vec(b, &[2, 4]).unwrap();
@@ -70,7 +70,7 @@ proptest! {
     /// Checkpoint serialization round-trips any tensor map exactly.
     #[test]
     fn checkpoint_roundtrip(
-        names in proptest::collection::vec("[a-z]{1,8}", 0..5),
+        names in collection::vec("[a-z]{1,8}", 0..5),
         seed in 0u64..1000,
     ) {
         let mut map = TensorMap::new();

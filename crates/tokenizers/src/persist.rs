@@ -10,7 +10,7 @@
 use crate::bpe::BpeTokenizer;
 use crate::char_level::CharTokenizer;
 use crate::word_level::WordTokenizer;
-use crate::{Tokenizer, Vocab};
+use crate::Vocab;
 
 /// Errors from loading a persisted tokenizer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -182,6 +182,7 @@ impl BpeTokenizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Tokenizer;
 
     const CORPUS: &[&str] = &[
         "mix the flour and water until smooth",

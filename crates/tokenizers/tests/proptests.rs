@@ -1,6 +1,6 @@
 //! Property-based tests on tokenizer invariants.
 
-use proptest::prelude::*;
+use ratatouille_util::proptest::prelude::*;
 use ratatouille_tokenizers::{special, BpeTokenizer, CharTokenizer, Tokenizer, WordTokenizer};
 
 proptest! {
@@ -32,6 +32,31 @@ proptest! {
                 prop_assert!((id as usize) < tok.vocab_size());
             }
         }
+    }
+
+    /// Word tokenizer round-trips canonical text: known words joined by
+    /// single spaces (its lossy normalizations — unknown words and
+    /// whitespace runs — are excluded by construction).
+    #[test]
+    fn word_roundtrips_canonical_text(picks in collection::vec(0usize..6, 1..12)) {
+        let words = ["mix", "the", "flour", "with", "water", "salt"];
+        let tok = WordTokenizer::train(&["mix the flour with water salt"], 1);
+        let text: String = picks
+            .iter()
+            .map(|&i| words[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    /// Char tokenizer encode→decode→encode is stable even off-alphabet
+    /// (unknown chars collapse to <UNK> once, then stay fixed).
+    #[test]
+    fn char_double_roundtrip_stable(s in "\\PC{0,60}") {
+        let tok = CharTokenizer::train(&["abcdefghijklmnopqrstuvwxyz "]);
+        let once = tok.decode(&tok.encode(&s));
+        let twice = tok.decode(&tok.encode(&once));
+        prop_assert_eq!(once, twice);
     }
 
     /// Word tokenizer never panics and decodes unknowns to <UNK>.

@@ -1,0 +1,543 @@
+//! A tiny criterion replacement (std only).
+//!
+//! Each benchmark runs a warmup phase to estimate per-iteration cost,
+//! picks a batch size so every timed sample spans a useful wall-clock
+//! window, collects N samples and reports mean / p50 / p99 per
+//! iteration. Results print as a table on stderr and are written as
+//! JSON to `BENCH_<harness>.json` so perf PRs can diff runs.
+//!
+//! ```ignore
+//! use ratatouille_util::bench::{Bench, BenchmarkId, Throughput};
+//! use ratatouille_util::{bench_group, bench_main};
+//!
+//! fn my_bench(c: &mut Bench) {
+//!     let mut group = c.benchmark_group("sums");
+//!     group.throughput(Throughput::Elements(1000));
+//!     group.bench_function(BenchmarkId::new("naive", 1000), |b| {
+//!         b.iter(|| (0..1000u64).sum::<u64>())
+//!     });
+//!     group.finish();
+//! }
+//!
+//! bench_group!(benches, my_bench);
+//! bench_main!(benches);
+//! ```
+//!
+//! Environment:
+//! * `RAT_BENCH_FAST=1` (or `--fast` on the command line) — smoke mode:
+//!   minimal warmup and sample counts, for CI gating.
+//! * `RAT_BENCH_DIR` — directory for the JSON output (default: cwd).
+
+use std::fmt::Display;
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration metadata, echoed into the JSON output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` inputs are sized. The harness times routines
+/// individually regardless, so the variants behave identically; the
+/// enum exists for criterion signature compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Label a benchmark `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchId {
+    /// The rendered `function/parameter` (or bare) label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.render()
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing knobs, resolved from the environment.
+#[derive(Clone, Copy, Debug)]
+struct Knobs {
+    warmup: Duration,
+    target_sample: Duration,
+    samples: usize,
+}
+
+impl Knobs {
+    fn standard() -> Knobs {
+        Knobs {
+            warmup: Duration::from_millis(300),
+            target_sample: Duration::from_millis(30),
+            samples: 50,
+        }
+    }
+
+    fn fast() -> Knobs {
+        Knobs {
+            warmup: Duration::from_millis(5),
+            target_sample: Duration::from_millis(2),
+            samples: 5,
+        }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Group name ("" for ungrouped benchmarks).
+    pub group: String,
+    /// Benchmark label within the group.
+    pub name: String,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Mean time per iteration (ns).
+    pub mean_ns: f64,
+    /// Median time per iteration (ns).
+    pub p50_ns: f64,
+    /// 99th-percentile time per iteration (ns).
+    pub p99_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+}
+
+impl Measurement {
+    fn qualified(&self) -> String {
+        if self.group.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.group, self.name)
+        }
+    }
+
+    fn json(&self) -> String {
+        let tput = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+            Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"group\":{},\"name\":{},\"samples\":{},\"iters_per_sample\":{},\
+             \"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p99_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}{}}}",
+            json_string(&self.group),
+            json_string(&self.name),
+            self.samples,
+            self.iters_per_sample,
+            self.mean_ns,
+            self.p50_ns,
+            self.p99_ns,
+            self.min_ns,
+            self.max_ns,
+            tput,
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The per-benchmark measurement driver handed to closures as `b`.
+pub struct Timer {
+    knobs: Knobs,
+    /// ns-per-iteration samples collected by `iter`/`iter_batched`.
+    sample_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Timer {
+    fn new(knobs: Knobs) -> Timer {
+        Timer {
+            knobs,
+            sample_ns: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Warmup: run `routine` until the warmup window elapses, returning
+    /// the estimated cost of one iteration.
+    fn warmup<R>(&self, routine: &mut impl FnMut() -> R) -> Duration {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            bb(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.knobs.warmup {
+                return elapsed / iters.max(1) as u32;
+            }
+        }
+    }
+
+    /// Time `routine`, the whole closure body per iteration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let est = self.warmup(&mut routine).max(Duration::from_nanos(1));
+        let ipers = (self.knobs.target_sample.as_nanos() / est.as_nanos()).clamp(1, 1 << 24) as u64;
+        self.iters_per_sample = ipers;
+        self.sample_ns = (0..self.knobs.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..ipers {
+                    bb(routine());
+                }
+                t0.elapsed().as_nanos() as f64 / ipers as f64
+            })
+            .collect();
+    }
+
+    /// Time `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // warmup one full cycle to fault in caches/allocations
+        let warm_deadline = Instant::now() + self.knobs.warmup;
+        while Instant::now() < warm_deadline {
+            bb(routine(setup()));
+        }
+        self.iters_per_sample = 1;
+        self.sample_ns = (0..self.knobs.samples)
+            .map(|_| {
+                let input = setup();
+                let t0 = Instant::now();
+                bb(routine(input));
+                t0.elapsed().as_nanos() as f64
+            })
+            .collect();
+    }
+
+    fn measurement(mut self, group: &str, name: String, throughput: Option<Throughput>) -> Measurement {
+        assert!(
+            !self.sample_ns.is_empty(),
+            "benchmark `{name}` never called b.iter()/b.iter_batched()"
+        );
+        self.sample_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = self.sample_ns.len();
+        let pick = |q: f64| self.sample_ns[((n as f64 - 1.0) * q).round() as usize];
+        Measurement {
+            group: group.to_string(),
+            name,
+            throughput,
+            samples: n,
+            iters_per_sample: self.iters_per_sample,
+            mean_ns: self.sample_ns.iter().sum::<f64>() / n as f64,
+            p50_ns: pick(0.5),
+            p99_ns: pick(0.99),
+            min_ns: self.sample_ns[0],
+            max_ns: self.sample_ns[n - 1],
+        }
+    }
+}
+
+/// The harness root: collects measurements across groups.
+pub struct Bench {
+    knobs: Knobs,
+    results: Vec<Measurement>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::from_env()
+    }
+}
+
+impl Bench {
+    /// Build from the environment (`RAT_BENCH_FAST`, `--fast`).
+    pub fn from_env() -> Bench {
+        let fast = std::env::var("RAT_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+            || std::env::args().any(|a| a == "--fast" || a == "--test");
+        Bench {
+            knobs: if fast { Knobs::fast() } else { Knobs::standard() },
+            results: Vec::new(),
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl IntoBenchId, f: impl FnMut(&mut Timer)) {
+        self.run("", id.into_label(), None, f);
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn run(
+        &mut self,
+        group: &str,
+        name: String,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Timer),
+    ) {
+        let mut timer = Timer::new(self.knobs);
+        f(&mut timer);
+        let m = timer.measurement(group, name, throughput);
+        eprintln!(
+            "{:<44} mean {:>12}  p50 {:>12}  p99 {:>12}",
+            m.qualified(),
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.p50_ns),
+            fmt_ns(m.p99_ns),
+        );
+        self.results.push(m);
+    }
+
+    /// All measurements so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Render the JSON document for this harness.
+    pub fn to_json(&self, harness: &str) -> String {
+        let body: Vec<String> = self.results.iter().map(Measurement::json).collect();
+        format!(
+            "{{\"harness\":{},\"results\":[{}]}}\n",
+            json_string(harness),
+            body.join(",")
+        )
+    }
+
+    /// Write `BENCH_<harness>.json` (into `RAT_BENCH_DIR` or cwd) and
+    /// print a closing summary. Called by [`bench_main!`](crate::bench_main).
+    pub fn finalize(&mut self, harness: &str) {
+        let dir = std::env::var("RAT_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        std::fs::create_dir_all(&dir).ok();
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{harness}.json"));
+        match std::fs::write(&path, self.to_json(harness)) {
+            Ok(()) => eprintln!(
+                "\n{} benchmark(s) measured; results written to {}",
+                self.results.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("\nWARNING: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declare work-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl IntoBenchId, f: impl FnMut(&mut Timer)) {
+        let saved = self.bench.knobs;
+        let mut knobs = saved;
+        if let Some(n) = self.sample_size {
+            knobs.samples = knobs.samples.min(n);
+        }
+        self.bench.knobs = knobs;
+        let name = self.name.clone();
+        let throughput = self.throughput;
+        self.bench.run(&name, id.into_label(), throughput, f);
+        self.bench.knobs = saved;
+    }
+
+    /// Close the group (drop would do; mirrors the criterion API).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench::Bench) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut bench = $crate::bench::Bench::from_env();
+            $( $group(&mut bench); )+
+            bench.finalize(env!("CARGO_CRATE_NAME"));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_bench() -> Bench {
+        Bench {
+            knobs: Knobs::fast(),
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut b = fast_bench();
+        b.bench_function("noop_sum", |t| t.iter(|| (0..100u64).sum::<u64>()));
+        let m = &b.results()[0];
+        assert_eq!(m.name, "noop_sum");
+        assert_eq!(m.samples, 5);
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.p50_ns && m.p50_ns <= m.max_ns);
+        assert!(m.p99_ns <= m.max_ns + 1e-9);
+    }
+
+    #[test]
+    fn groups_and_ids_compose_labels() {
+        let mut b = fast_bench();
+        let mut g = b.benchmark_group("grp");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function(BenchmarkId::new("f", 64), |t| t.iter(|| bb(1 + 1)));
+        g.finish();
+        let m = &b.results()[0];
+        assert_eq!(m.group, "grp");
+        assert_eq!(m.name, "f/64");
+        assert_eq!(m.samples, 3);
+        assert!(matches!(m.throughput, Some(Throughput::Elements(64))));
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = fast_bench();
+        b.bench_function("batched", |t| {
+            t.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(b.results()[0].iters_per_sample, 1);
+    }
+
+    #[test]
+    fn json_is_wellformed_and_complete() {
+        let mut b = fast_bench();
+        b.bench_function("alpha", |t| t.iter(|| bb(0)));
+        let mut g = b.benchmark_group("g\"quoted");
+        g.sample_size(2);
+        g.throughput(Throughput::Bytes(128));
+        g.bench_function("beta", |t| t.iter(|| bb(0)));
+        g.finish();
+        let json = b.to_json("unit_test");
+        assert!(json.starts_with("{\"harness\":\"unit_test\""));
+        assert!(json.contains("\"name\":\"alpha\""));
+        assert!(json.contains("\"group\":\"g\\\"quoted\""));
+        assert!(json.contains("\"bytes\":128"));
+        assert!(json.contains("\"mean_ns\":"));
+        // braces balance
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+    }
+
+    #[test]
+    fn finalize_writes_json_file() {
+        let dir = std::env::temp_dir().join(format!("rt-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("RAT_BENCH_DIR", &dir);
+        let mut b = fast_bench();
+        b.bench_function("written", |t| t.iter(|| bb(7)));
+        b.finalize("file_test");
+        std::env::remove_var("RAT_BENCH_DIR");
+        let path = dir.join("BENCH_file_test.json");
+        let content = std::fs::read_to_string(&path).expect("JSON written");
+        assert!(content.contains("\"written\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

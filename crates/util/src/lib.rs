@@ -1,0 +1,32 @@
+//! # ratatouille-util
+//!
+//! The workspace's zero-dependency determinism layer. The offline build
+//! environment has no crate registry, so everything the repo previously
+//! pulled from crates.io for randomness, property testing and
+//! benchmarking lives here instead, implemented on `std` alone:
+//!
+//! * [`rng`] — a seedable SplitMix64-seeded xoshiro256** PRNG with the
+//!   `StdRng` / [`rng::SeedableRng`] / [`rng::Rng`] / [`rng::RngExt`]
+//!   surface the workspace uses. Integer-only state transitions make
+//!   every stream bit-reproducible across platforms and Rust versions.
+//! * [`proptest`] — a minimal property-testing harness: composable
+//!   strategies (ranges, collections, pattern strings, tuples, map /
+//!   flat-map), shrinking for integers, vectors and strings, a
+//!   [`proptest!`]-style macro, and failure-seed replay via
+//!   `RAT_PROPTEST_REPLAY`.
+//! * [`bench`] — a tiny criterion replacement: warmup, N timed samples,
+//!   mean/p50/p99, human-readable table on stdout and JSON written to
+//!   `BENCH_<harness>.json` for machine consumption.
+//!
+//! ## Seed policy
+//!
+//! Everything is deterministic by default. Property tests derive each
+//! case seed from a fixed base seed, the property name and the case
+//! index, so a bare `cargo test` is exactly reproducible; set
+//! `RAT_PROPTEST_SEED` to explore a different universe of cases and
+//! `RAT_PROPTEST_REPLAY=<seed>` to re-run a single reported failure.
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod proptest;
+pub mod rng;

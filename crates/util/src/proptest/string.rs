@@ -1,0 +1,428 @@
+//! String strategies from a small regex-like pattern language.
+//!
+//! [`pattern`] supports exactly the shapes the workspace's property
+//! tests use — sequences of literal characters and character classes,
+//! each with an optional `{m,n}` repetition:
+//!
+//! ```text
+//! [a-z0-9 ,./-]{0,120}      class with ranges and literals
+//! /[a-z0-9/]{0,20}          literal prefix + class
+//! [\x20-\x7e]{0,80}         hex escapes
+//! \PC{0,200}                any non-control (printable) character
+//! [\PC"\\]{0,20}            class mixing \PC with literals
+//! ```
+//!
+//! Anything outside this subset panics with a clear message — patterns
+//! are compile-time constants in tests, so failing fast is the right
+//! behaviour.
+
+use std::str::Chars;
+
+use crate::rng::{RngExt, StdRng};
+
+use super::strategy::Strategy;
+
+/// Inclusive character ranges sampled uniformly when generating from
+/// `\PC` (any non-control character). A curated set of assigned,
+/// printable Unicode blocks: ASCII, Latin-1/Extended, Greek, Cyrillic,
+/// CJK and emoji.
+const NON_CONTROL_RANGES: &[(u32, u32)] = &[
+    (0x0020, 0x007E),
+    (0x00A1, 0x01FF),
+    (0x0391, 0x03C9),
+    (0x0410, 0x044F),
+    (0x4E00, 0x4FFF),
+    (0x1F600, 0x1F64F),
+];
+
+/// A set of characters: explicit ranges, optionally unioned with the
+/// non-control universe.
+#[derive(Clone, Debug, Default)]
+struct CharSet {
+    ranges: Vec<(char, char)>,
+    non_control: bool,
+}
+
+impl CharSet {
+    fn single(c: char) -> CharSet {
+        CharSet {
+            ranges: vec![(c, c)],
+            non_control: false,
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> char {
+        let extra = usize::from(self.non_control) * NON_CONTROL_RANGES.len();
+        let total = self.ranges.len() + extra;
+        assert!(total > 0, "empty character class");
+        let pick = rng.below(total);
+        let (lo, hi) = if pick < self.ranges.len() {
+            let (a, b) = self.ranges[pick];
+            (a as u32, b as u32)
+        } else {
+            NON_CONTROL_RANGES[pick - self.ranges.len()]
+        };
+        char::from_u32(rng.random_range(lo..=hi)).expect("valid scalar range")
+    }
+
+    /// The canonical "simplest" member, used when shrinking.
+    fn simplest(&self) -> char {
+        self.ranges
+            .first()
+            .map(|&(lo, _)| lo)
+            .unwrap_or(if self.non_control { 'a' } else { '?' })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Atom {
+    class: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// A strategy generating strings matching a [`pattern`].
+#[derive(Clone)]
+pub struct StringStrategy {
+    atoms: Vec<Atom>,
+    source: String,
+}
+
+impl std::fmt::Debug for StringStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern({:?})", self.source)
+    }
+}
+
+/// Build a [`StringStrategy`] from a pattern. Panics on syntax outside
+/// the supported subset.
+pub fn pattern(pat: &str) -> StringStrategy {
+    let mut atoms = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '[' => parse_class(&mut chars, pat),
+            '\\' => parse_escape(&mut chars, pat),
+            '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported pattern syntax `{c}` in {pat:?}")
+            }
+            lit => CharSet::single(lit),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            parse_quantifier(&mut chars, pat)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { class, min, max });
+    }
+    StringStrategy {
+        atoms,
+        source: pat.to_string(),
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<Chars>, pat: &str) -> (usize, usize) {
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (min, max) = match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse().unwrap_or_else(|_| bad_quant(pat)),
+                    b.parse().unwrap_or_else(|_| bad_quant(pat)),
+                ),
+                None => {
+                    let n = body.parse().unwrap_or_else(|_| bad_quant(pat));
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "quantifier min > max in {pat:?}");
+            return (min, max);
+        }
+        body.push(c);
+    }
+    bad_quant(pat)
+}
+
+fn bad_quant(pat: &str) -> ! {
+    panic!("malformed {{m,n}} quantifier in {pat:?}")
+}
+
+/// Parse one escape outside or inside a class: `\PC`, `\xHH` or a
+/// literal escaped character.
+fn parse_escape(chars: &mut std::iter::Peekable<Chars>, pat: &str) -> CharSet {
+    match chars.next() {
+        Some('P') => match chars.next() {
+            Some('C') => CharSet {
+                ranges: Vec::new(),
+                non_control: true,
+            },
+            other => panic!("unsupported \\P{other:?} in {pat:?} (only \\PC)"),
+        },
+        Some('x') => CharSet::single(parse_hex(chars, pat)),
+        Some(c @ ('\\' | '"' | '\'' | '.' | '-' | '/' | '[' | ']' | '{' | '}')) => {
+            CharSet::single(c)
+        }
+        Some('n') => CharSet::single('\n'),
+        Some('t') => CharSet::single('\t'),
+        other => panic!("unsupported escape \\{other:?} in {pat:?}"),
+    }
+}
+
+fn parse_hex(chars: &mut std::iter::Peekable<Chars>, pat: &str) -> char {
+    let hi = chars.next().unwrap_or_else(|| bad_hex(pat));
+    let lo = chars.next().unwrap_or_else(|| bad_hex(pat));
+    let v = u32::from_str_radix(&format!("{hi}{lo}"), 16).unwrap_or_else(|_| bad_hex(pat));
+    char::from_u32(v).unwrap_or_else(|| bad_hex(pat))
+}
+
+fn bad_hex(pat: &str) -> ! {
+    panic!("malformed \\xHH escape in {pat:?}")
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<Chars>, pat: &str) -> CharSet {
+    let mut set = CharSet::default();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in {pat:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    set.ranges.push((p, p));
+                }
+                assert!(
+                    !set.ranges.is_empty() || set.non_control,
+                    "empty character class in {pat:?}"
+                );
+                return set;
+            }
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    set.ranges.push((p, p));
+                }
+                let esc = parse_escape(chars, pat);
+                if esc.non_control {
+                    set.non_control = true;
+                } else if esc.ranges.len() == 1 && esc.ranges[0].0 == esc.ranges[0].1 {
+                    // a single escaped char may open a range (\x20-\x7e)
+                    pending = Some(esc.ranges[0].0);
+                } else {
+                    set.ranges.extend(esc.ranges);
+                }
+            }
+            '-' => match pending.take() {
+                // `a-z`: complete a range with the next element
+                Some(lo) => {
+                    let next = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling `-` in class in {pat:?}"));
+                    let hi = match next {
+                        '\\' => {
+                            let esc = parse_escape(chars, pat);
+                            assert!(
+                                esc.ranges.len() == 1 && !esc.non_control,
+                                "bad range end in {pat:?}"
+                            );
+                            esc.ranges[0].0
+                        }
+                        ']' => {
+                            // trailing `-` is a literal
+                            set.ranges.push((lo, lo));
+                            set.ranges.push(('-', '-'));
+                            return set;
+                        }
+                        other => other,
+                    };
+                    assert!(lo <= hi, "inverted range {lo:?}-{hi:?} in {pat:?}");
+                    set.ranges.push((lo, hi));
+                }
+                // leading `-` is a literal
+                None => pending = Some('-'),
+            },
+            other => {
+                if let Some(p) = pending.take() {
+                    set.ranges.push((p, p));
+                }
+                pending = Some(other);
+            }
+        }
+    }
+}
+
+impl StringStrategy {
+    fn min_len(&self) -> usize {
+        self.atoms.iter().map(|a| a.min).sum()
+    }
+
+    /// Shrinking is only sound when at most one atom has a variable
+    /// repetition count (true for every pattern in the workspace).
+    fn variable_atoms(&self) -> usize {
+        self.atoms.iter().filter(|a| a.min != a.max).count()
+    }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = rng.random_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        if self.variable_atoms() > 1 {
+            return Vec::new();
+        }
+        let min = self.min_len();
+        let len = value.chars().count();
+        let mut out = Vec::new();
+        if len > min {
+            // shortest allowed, halfway, and one-shorter
+            let take = |n: usize| -> String { value.chars().take(n).collect() };
+            out.push(take(min));
+            let half = (len / 2).max(min);
+            if half > min && half < len {
+                out.push(take(half));
+            }
+            if len - 1 > min {
+                out.push(take(len - 1));
+            }
+        }
+        // simplify the last character toward the simplest class member
+        if let Some(last_atom) = self.atoms.iter().rev().find(|a| a.max > 0) {
+            let simplest = last_atom.class.simplest();
+            if value.chars().last().is_some_and(|c| c != simplest) {
+                let mut chars: Vec<char> = value.chars().collect();
+                *chars.last_mut().unwrap() = simplest;
+                out.push(chars.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+/// String literals are strategies, interpreted as [`pattern`]s —
+/// mirrors `proptest`, where `"[a-z]{1,8}"` is itself a strategy.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        pattern(self).generate(rng)
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        pattern(self).shrink(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedableRng;
+
+    fn all_match(pat: &str, check: impl Fn(&str) -> bool) {
+        let s = pattern(pat);
+        let mut rng = StdRng::seed_from_u64(1234);
+        for i in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!(check(&v), "pattern {pat:?} produced {v:?} (case {i})");
+        }
+    }
+
+    #[test]
+    fn simple_class_with_quantifier() {
+        all_match("[a-z]{1,8}", |v| {
+            (1..=8).contains(&v.len()) && v.chars().all(|c| c.is_ascii_lowercase())
+        });
+    }
+
+    #[test]
+    fn class_with_literals_and_trailing_dash() {
+        all_match("[a-z0-9 ,./-]{0,120}", |v| {
+            v.len() <= 120
+                && v.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || " ,./-".contains(c))
+        });
+    }
+
+    #[test]
+    fn literal_prefix() {
+        all_match("/[a-z0-9/]{0,20}", |v| {
+            v.starts_with('/')
+                && v.chars().count() <= 21
+                && v[1..]
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/')
+        });
+    }
+
+    #[test]
+    fn hex_escape_range() {
+        all_match("[\\x20-\\x7e]{0,80}", |v| {
+            v.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn non_control_class() {
+        all_match("\\PC{0,60}", |v| {
+            v.chars().count() <= 60 && v.chars().all(|c| !c.is_control())
+        });
+    }
+
+    #[test]
+    fn mixed_pc_class() {
+        // the class from tests/proptests.rs: \PC plus quote and backslash
+        all_match("[\\PC\"\\\\]{0,20}", |v| {
+            v.chars().count() <= 20 && v.chars().all(|c| !c.is_control())
+        });
+    }
+
+    #[test]
+    fn exact_quantifier_and_default() {
+        all_match("[ab]{3}", |v| v.len() == 3);
+        all_match("xy", |v| v == "xy");
+    }
+
+    #[test]
+    fn shrink_respects_min_and_pattern() {
+        let s = pattern("[a-z]{2,10}");
+        let cands = s.shrink(&"zxcvbn".to_string());
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.len() >= 2, "{c:?}");
+            assert!(c.chars().all(|ch| ch.is_ascii_lowercase()), "{c:?}");
+        }
+        assert!(cands.iter().any(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn shrink_simplifies_last_char() {
+        let s = pattern("[a-z]{1,4}");
+        let cands = s.shrink(&"zz".to_string());
+        assert!(cands.contains(&"za".to_string()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = pattern("[a-f ]{0,40}");
+        assert_eq!(
+            s.generate(&mut StdRng::seed_from_u64(5)),
+            s.generate(&mut StdRng::seed_from_u64(5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported pattern syntax")]
+    fn unsupported_syntax_panics() {
+        pattern("(a|b)+");
+    }
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate: build + test + bench smoke, with zero network
+# access and warnings treated as errors.
+#
+# The workspace has no external dependencies — everything resolves from
+# path crates — so this must pass on a machine with an empty cargo
+# registry. `--offline` makes any accidental registry dependency a hard
+# failure instead of a hang.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-Dwarnings"
+export CARGO_NET_OFFLINE="true"
+
+echo "== build (release, warnings are errors) =="
+cargo build --workspace --release --offline
+
+echo "== test (all targets) =="
+cargo test --workspace -q --offline
+
+echo "== bench smoke (fast mode, one harness) =="
+RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD/target}" \
+    cargo bench -p ratatouille-bench --bench tensor_kernels --offline
+
+echo "== ci.sh: all gates passed =="

@@ -2,8 +2,8 @@
 //! that makes transformer conditional generation work) and the GPT-Neo
 //! future-work extension, through the public crate surfaces.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ratatouille_util::rng::StdRng;
+use ratatouille_util::rng::SeedableRng;
 use ratatouille::models::data::Dataset;
 use ratatouille::models::gptneo::{GptNeoConfig, GptNeoLm};
 use ratatouille::models::registry::{ModelKind, ModelSpec};

@@ -1,0 +1,173 @@
+//! Golden determinism tests: the whole stack is a pure function of its
+//! seeds.
+//!
+//! Reproducibility is the determinism layer's contract — every random
+//! draw in the workspace flows through `ratatouille_util::rng::StdRng`
+//! (xoshiro256** seeded via SplitMix64), so identical seeds must yield
+//! byte-identical corpora, samples, training runs and checkpoints.
+//! The frozen-literal tests also protect against the generator being
+//! swapped or reseeded accidentally: they fail on any change to the
+//! underlying bit stream, not just on intra-process nondeterminism.
+
+use ratatouille::models::registry::ModelKind;
+use ratatouille::models::train::TrainConfig;
+use ratatouille::recipedb::corpus::{Corpus, CorpusConfig};
+use ratatouille::tensor::serialize::TensorMap;
+use ratatouille::tensor::{init, Tensor};
+use ratatouille::{Pipeline, PipelineConfig};
+use ratatouille_util::rng::{Rng, SeedableRng, StdRng};
+
+fn tiny_corpus_config() -> CorpusConfig {
+    CorpusConfig {
+        num_recipes: 60,
+        ..CorpusConfig::default()
+    }
+}
+
+fn tiny_pipeline_config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::small();
+    cfg.corpus.num_recipes = 80;
+    cfg
+}
+
+fn tiny_train() -> TrainConfig {
+    TrainConfig {
+        steps: 3,
+        batch_size: 2,
+        ..Default::default()
+    }
+}
+
+/// FNV-1a over a byte stream — a stable fingerprint for golden values.
+fn fingerprint(parts: impl IntoIterator<Item = impl AsRef<[u8]>>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in part.as_ref() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The PRNG bit stream is frozen: seed 0 must produce these exact words
+/// forever. Any change to the generator, its seeding, or its parameters
+/// is a breaking change to every golden value in the repo.
+#[test]
+fn rng_golden_stream_is_frozen() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let words: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        words,
+        [
+            11091344671253066420,
+            13793997310169335082,
+            1900383378846508768,
+            7684712102626143532,
+        ]
+    );
+}
+
+/// Corpus generation is a pure function of its config.
+#[test]
+fn corpus_generation_twice_is_byte_identical() {
+    let a = Corpus::generate(tiny_corpus_config());
+    let b = Corpus::generate(tiny_corpus_config());
+    let a_texts: Vec<String> = a.recipes.iter().map(|r| r.to_tagged_string()).collect();
+    let b_texts: Vec<String> = b.recipes.iter().map(|r| r.to_tagged_string()).collect();
+    assert_eq!(a_texts, b_texts);
+    let raw = |c: &Corpus| -> Vec<String> { c.raw_records.iter().map(|r| r.text.clone()).collect() };
+    assert_eq!(raw(&a), raw(&b));
+}
+
+/// Different corpus seeds must diverge (the seed is actually used).
+#[test]
+fn corpus_seed_changes_output() {
+    let a = Corpus::generate(tiny_corpus_config());
+    let b = Corpus::generate(CorpusConfig {
+        seed: 43,
+        ..tiny_corpus_config()
+    });
+    let a_texts: Vec<String> = a.recipes.iter().map(|r| r.to_tagged_string()).collect();
+    let b_texts: Vec<String> = b.recipes.iter().map(|r| r.to_tagged_string()).collect();
+    assert_ne!(a_texts, b_texts);
+}
+
+/// Fixed-seed sampling through a trained model is byte-identical across
+/// repeated draws AND across independently prepared+trained pipelines.
+#[test]
+fn fixed_seed_sampling_is_byte_identical() {
+    let ingredients: Vec<String> = vec!["flour".into(), "water".into()];
+
+    let first = {
+        let pipeline = Pipeline::prepare(tiny_pipeline_config());
+        let trained = pipeline.train(ModelKind::WordLstm, Some(tiny_train()));
+        (
+            trained.generate_tagged(&ingredients, 7),
+            trained.generate_tagged(&ingredients, 7),
+            trained.generate_tagged(&ingredients, 8),
+        )
+    };
+    // same seed, same trained model → identical bytes
+    assert_eq!(first.0, first.1);
+    // a different sampling seed must be able to diverge — compare whole
+    // tagged outputs (they could theoretically coincide, but with a
+    // 3-token prompt and dozens of sampled tokens, they don't for these
+    // fixed seeds; if this ever fails the sampler is ignoring its rng)
+    assert_ne!(first.0, first.2, "sampling seed is ignored");
+
+    // an entirely separate process-independent rebuild reproduces it
+    let second = {
+        let pipeline = Pipeline::prepare(tiny_pipeline_config());
+        let trained = pipeline.train(ModelKind::WordLstm, Some(tiny_train()));
+        trained.generate_tagged(&ingredients, 7)
+    };
+    assert_eq!(first.0, second);
+}
+
+/// Training is deterministic end to end: two independent runs produce
+/// byte-identical loss curves.
+#[test]
+fn training_twice_gives_identical_losses() {
+    let run = || {
+        let pipeline = Pipeline::prepare(tiny_pipeline_config());
+        let trained = pipeline.train(ModelKind::CharLstm, Some(tiny_train()));
+        trained.stats.losses.clone()
+    };
+    let (a, b) = (run(), run());
+    assert!(!a.is_empty());
+    assert_eq!(
+        a.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        b.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        "losses differ bitwise: {a:?} vs {b:?}"
+    );
+}
+
+/// Checkpoint serialization of identically seeded weights is
+/// byte-identical (serialization itself adds no nondeterminism).
+#[test]
+fn seeded_checkpoint_bytes_are_identical() {
+    let build = || {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut map = TensorMap::new();
+        map.insert("embed", init::randn(&mut rng, &[16, 8], 0.2));
+        map.insert("w_out", init::xavier_uniform(&mut rng, 8, 16));
+        map.insert("bias", Tensor::zeros(&[16]));
+        map.to_bytes()
+    };
+    let (a, b) = (build(), build());
+    assert_eq!(a, b, "checkpoint bytes differ");
+}
+
+/// Golden corpus fingerprint: the seed-42, 60-recipe corpus hashes to a
+/// frozen value. This pins the full chain — PRNG bit stream, grammar
+/// sampling order, defect injection — in one number.
+#[test]
+fn corpus_golden_fingerprint_is_frozen() {
+    let corpus = Corpus::generate(tiny_corpus_config());
+    let fp = fingerprint(corpus.recipes.iter().map(|r| r.to_tagged_string()));
+    assert_eq!(
+        fp, 0x3751_b0ef_7398_66ff,
+        "corpus fingerprint changed: {fp:#x} — if intentional, refreeze"
+    );
+}

@@ -2,7 +2,7 @@
 //! generated recipe / corpus / request, not just the examples we thought
 //! of.
 
-use proptest::prelude::*;
+use ratatouille_util::proptest::prelude::*;
 use ratatouille::eval::bleu::sentence_bleu;
 use ratatouille::eval::structure::validate_tagged_recipe;
 use ratatouille::recipedb::grammar::{RecipeGenerator, ALL_DISH_KINDS};
@@ -11,7 +11,7 @@ use ratatouille::serving::json::Json;
 use ratatouille::tokenizers::{BpeTokenizer, CharTokenizer, Tokenizer, WordTokenizer};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    cases = 24;
 
     /// Every recipe the grammar can produce renders to a tagged string
     /// that passes structural validation — the corpus is well-formed by
@@ -75,7 +75,7 @@ proptest! {
     /// The API's JSON layer round-trips arbitrary ingredient strings
     /// (quotes, backslashes, unicode) without corruption.
     #[test]
-    fn json_roundtrips_arbitrary_ingredients(items in proptest::collection::vec("[\\PC\"\\\\]{0,20}", 0..6)) {
+    fn json_roundtrips_arbitrary_ingredients(items in collection::vec("[\\PC\"\\\\]{0,20}", 0..6)) {
         let v = Json::object(vec![("ingredients", Json::string_array(&items))]);
         let back = Json::parse(&v.to_string()).unwrap();
         prop_assert_eq!(back.get("ingredients").unwrap().as_string_vec(), items);
