@@ -55,6 +55,35 @@ fn bench_softmax_layernorm(c: &mut Bench) {
     });
 }
 
+fn bench_decode_gemv(c: &mut Bench) {
+    // The per-token unembedding: [1, D] @ [V, D]^T — the single largest
+    // matmul in the incremental decode path.
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = init::randn(&mut rng, &[1, 128], 1.0);
+    let w = init::randn(&mut rng, &[4096, 128], 0.02);
+    c.bench_function("matmul_transb_decode_1x128x4096", |b| {
+        b.iter(|| ops::matmul_transb(std::hint::black_box(&x), std::hint::black_box(&w)))
+    });
+}
+
+fn bench_pool_launch(c: &mut Bench) {
+    // Fixed cost of one parallel region on the persistent pool: dominates
+    // small kernels, so it bounds how fine-grained parallelism can get.
+    let mut group = c.benchmark_group("pool_launch");
+    for &threads in &[2usize, 4] {
+        group.bench_function(BenchmarkId::new("noop", threads), |bch| {
+            par::set_num_threads(threads);
+            bch.iter(|| {
+                par::parallel_chunks(threads, 1, |s, e, _| {
+                    std::hint::black_box(e - s);
+                })
+            });
+            par::set_num_threads(0);
+        });
+    }
+    group.finish();
+}
+
 fn bench_autograd_step(c: &mut Bench) {
     // forward+backward through a 2-layer MLP: the autograd tape overhead
     let mut rng = StdRng::seed_from_u64(2);
@@ -77,6 +106,8 @@ bench_group!(
     bench_matmul,
     bench_matmul_threads,
     bench_softmax_layernorm,
+    bench_decode_gemv,
+    bench_pool_launch,
     bench_autograd_step
 );
 bench_main!(benches);

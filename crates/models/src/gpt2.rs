@@ -14,7 +14,7 @@ use ratatouille_util::rng::SeedableRng;
 use ratatouille_tensor::{init, ops, Tensor, Var};
 
 use crate::lm::{Batch, LanguageModel, TokenStream};
-use crate::transformer::{Block, KvCache};
+use crate::transformer::{Block, DecodeScratch, KvCache};
 
 /// GPT-2 hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -185,15 +185,18 @@ impl LanguageModel for Gpt2Lm {
             caches: (0..self.config.n_layers)
                 .map(|_| KvCache::new(self.config.d_model))
                 .collect(),
+            scratch: DecodeScratch::new(),
             pos: 0,
         })
     }
 }
 
-/// Incremental decoding state: one KV cache per block.
+/// Incremental decoding state: one KV cache per block, plus the reusable
+/// attention scratch shared by all blocks (they run sequentially).
 struct Gpt2Stream<'m> {
     model: &'m Gpt2Lm,
     caches: Vec<KvCache>,
+    scratch: DecodeScratch,
     pos: usize,
 }
 
@@ -213,7 +216,7 @@ impl TokenStream for Gpt2Stream<'_> {
         let pos = ops::embedding(&m.wpe.value(), &[pos_idx]).reshape(&[d]);
         let mut x = ops::add(&tok, &pos);
         for (blk, cache) in m.blocks.iter().zip(&mut self.caches) {
-            x = blk.forward_incremental(&x, m.config.n_heads, cache);
+            x = blk.forward_incremental(&x, m.config.n_heads, cache, &mut self.scratch);
         }
         self.pos += 1;
         let (ln, _, _) = ops::layer_norm(

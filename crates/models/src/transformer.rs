@@ -141,45 +141,71 @@ impl Block {
     ///
     /// `x: [D]` is the token's current representation; `cache` holds the
     /// previously-computed K and V rows for this layer and is appended to.
-    pub fn forward_incremental(&self, x: &Tensor, heads: usize, cache: &mut KvCache) -> Tensor {
+    /// `scratch` carries the per-stream score/prob/context buffers so the
+    /// attention inner loop allocates nothing per generated token.
+    pub fn forward_incremental(
+        &self,
+        x: &Tensor,
+        heads: usize,
+        cache: &mut KvCache,
+        scratch: &mut DecodeScratch,
+    ) -> Tensor {
         let d = x.numel();
         let dh = d / heads;
         let x_row = x.reshape(&[1, d]);
 
         let (ln, _, _) = ops::layer_norm(&x_row, &self.ln1_g.value(), &self.ln1_b.value(), 1e-5);
         let qkv = ops::add_broadcast(&ops::matmul(&ln, &self.w_qkv.value()), &self.b_qkv.value());
-        let q = ops::narrow(&qkv, 1, 0, d);
-        let k_new = ops::narrow(&qkv, 1, d, d);
-        let v_new = ops::narrow(&qkv, 1, 2 * d, d);
-        cache.push(k_new.reshape(&[d]), v_new.reshape(&[d]));
+        let qkv_d = qkv.data();
+        let q = &qkv_d[..d];
+        cache.push_slices(&qkv_d[d..2 * d], &qkv_d[2 * d..3 * d]);
 
         let t = cache.len();
-        // Per-head attention over the cache.
         let scale = 1.0 / (dh as f32).sqrt();
-        let mut ctx = vec![0.0f32; d];
-        let qd = q.data();
-        for h in 0..heads {
-            let q_h = &qd[h * dh..(h + 1) * dh];
-            // scores over all cached positions
-            let mut scores = Vec::with_capacity(t);
-            for pos in 0..t {
-                let k_h = cache.k_slice(pos, h * dh, dh);
-                let dot: f32 = q_h.iter().zip(k_h).map(|(&a, &b)| a * b).sum();
-                scores.push(dot * scale);
-            }
-            let mut probs = vec![0.0f32; t];
-            ops::softmax_row(&scores, &mut probs);
-            let out = &mut ctx[h * dh..(h + 1) * dh];
-            for (pos, &p) in probs.iter().enumerate() {
-                let v_h = cache.v_slice(pos, h * dh, dh);
-                for (o, &vv) in out.iter_mut().zip(v_h) {
-                    *o += p * vv;
-                }
+        scratch.resize(heads, t, d);
+        // Fused score pass: one sweep over the K cache; each cached row is
+        // read once, all heads scored against it.
+        for pos in 0..t {
+            let k_row = cache.k_row(pos);
+            for h in 0..heads {
+                scratch.scores[h * t + pos] =
+                    ops::dot(&q[h * dh..(h + 1) * dh], &k_row[h * dh..(h + 1) * dh]) * scale;
             }
         }
-        let ctx = Tensor::from_vec(ctx, &[1, d]).unwrap();
-        let attn_out = ops::add_broadcast(&ops::matmul(&ctx, &self.w_o.value()), &self.b_o.value());
-        let x1 = ops::add(&x_row, &attn_out);
+        for h in 0..heads {
+            ops::softmax_row(
+                &scratch.scores[h * t..(h + 1) * t],
+                &mut scratch.probs[h * t..(h + 1) * t],
+            );
+        }
+        // Fused context pass: one sweep over the V cache.
+        scratch.ctx.fill(0.0);
+        for pos in 0..t {
+            let v_row = cache.v_row(pos);
+            for h in 0..heads {
+                ops::axpy(
+                    scratch.probs[h * t + pos],
+                    &v_row[h * dh..(h + 1) * dh],
+                    &mut scratch.ctx[h * dh..(h + 1) * dh],
+                );
+            }
+        }
+        // attn = ctx @ W_o + b_o, streamed row-wise through W_o so the
+        // context vector never round-trips through a temporary tensor.
+        let w_o = self.w_o.value();
+        let wod = w_o.data();
+        scratch.attn.clear();
+        scratch.attn.extend_from_slice(self.b_o.value().data());
+        for (i, &c) in scratch.ctx.iter().enumerate() {
+            ops::axpy(c, &wod[i * d..(i + 1) * d], &mut scratch.attn);
+        }
+        let x1_vec: Vec<f32> = x_row
+            .data()
+            .iter()
+            .zip(&scratch.attn)
+            .map(|(&xv, &av)| xv + av)
+            .collect();
+        let x1 = Tensor::from_vec(x1_vec, &[1, d]).unwrap();
 
         let (ln2, _, _) = ops::layer_norm(&x1, &self.ln2_g.value(), &self.ln2_b.value(), 1e-5);
         let up = ops::gelu(&ops::add_broadcast(
@@ -188,6 +214,33 @@ impl Block {
         ));
         let mlp = ops::add_broadcast(&ops::matmul(&up, &self.w_down.value()), &self.b_down.value());
         ops::add(&x1, &mlp).reshape(&[d])
+    }
+}
+
+/// Reusable per-stream buffers for [`Block::forward_incremental`]: the
+/// attention scores/probs (`[heads * t]`), the context vector (`[d]`) and
+/// the projected attention output (`[d]`). One instance lives in each
+/// decode stream and is shared across layers (layers run sequentially),
+/// so the per-token attention loop performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    scores: Vec<f32>,
+    probs: Vec<f32>,
+    ctx: Vec<f32>,
+    attn: Vec<f32>,
+}
+
+impl DecodeScratch {
+    /// A fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn resize(&mut self, heads: usize, t: usize, d: usize) {
+        self.scores.resize(heads * t, 0.0);
+        self.probs.resize(heads * t, 0.0);
+        self.ctx.resize(d, 0.0);
+        self.attn.reserve(d);
     }
 }
 
@@ -222,20 +275,20 @@ impl KvCache {
         self.len == 0
     }
 
-    fn push(&mut self, k_row: Tensor, v_row: Tensor) {
-        assert_eq!(k_row.numel(), self.d);
-        assert_eq!(v_row.numel(), self.d);
-        self.k.extend_from_slice(k_row.data());
-        self.v.extend_from_slice(v_row.data());
+    fn push_slices(&mut self, k_row: &[f32], v_row: &[f32]) {
+        assert_eq!(k_row.len(), self.d);
+        assert_eq!(v_row.len(), self.d);
+        self.k.extend_from_slice(k_row);
+        self.v.extend_from_slice(v_row);
         self.len += 1;
     }
 
-    fn k_slice(&self, pos: usize, off: usize, len: usize) -> &[f32] {
-        &self.k[pos * self.d + off..pos * self.d + off + len]
+    fn k_row(&self, pos: usize) -> &[f32] {
+        &self.k[pos * self.d..(pos + 1) * self.d]
     }
 
-    fn v_slice(&self, pos: usize, off: usize, len: usize) -> &[f32] {
-        &self.v[pos * self.d + off..pos * self.d + off + len]
+    fn v_row(&self, pos: usize) -> &[f32] {
+        &self.v[pos * self.d..(pos + 1) * self.d]
     }
 }
 
@@ -302,8 +355,9 @@ mod tests {
             .value();
 
         let mut cache = KvCache::new(d);
+        let mut scratch = DecodeScratch::new();
         for (i, x) in xs.iter().enumerate() {
-            let inc = block.forward_incremental(x, 4, &mut cache);
+            let inc = block.forward_incremental(x, 4, &mut cache, &mut scratch);
             for j in 0..d {
                 let a = full_out.data()[i * d + j];
                 let b = inc.data()[j];

@@ -1,42 +1,334 @@
-//! Matrix multiplication kernels (2-D and batched 3-D), row-parallel.
+//! Matrix multiplication kernels (2-D and batched 3-D): cache-blocked,
+//! panel-packed, and row-parallel on the persistent worker pool.
 //!
-//! Loop order is `m, k, n` so the inner loop streams rows of `B` and the
-//! output row accumulates in cache — the standard cache-friendly layout for
-//! row-major operands without an explicit packing step. Rows of the output
-//! are distributed across scoped threads (see [`crate::par`]).
+//! The 2-D `matmul` packs the B operand once per call into `KC × NR`
+//! panels (shared read-only across workers), then each worker sweeps its
+//! row range with a register-blocked microkernel — 8-lane FMA when the
+//! host has AVX2 (see [`super::simd`]), otherwise a k-unrolled portable
+//! loop the auto-vectorizer handles. `matmul_transa` reuses the same
+//! kernel after a blocked transpose of A; `matmul_transb` and the `bmm_*`
+//! family run dot-product / row-accumulate kernels over the unpacked
+//! operands (their K/N extents are too small for packing to pay).
+//!
+//! **Determinism contract:** blocking parameters are fixed constants,
+//! every output element accumulates over `k` in ascending order within
+//! one worker, and chunk boundaries depend only on shape and
+//! `par::num_threads()` — never on scheduling — so results are
+//! byte-identical for any thread count. Dense paths are branch-free (no
+//! `a == 0.0` skips), which is both faster and what keeps the microkernel
+//! vectorizable.
 
-use crate::par::parallel_rows_mut;
+use crate::ops::simd;
+use crate::par::{parallel_chunks, parallel_rows_mut};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
-/// Minimum rows per thread before we bother spawning.
+/// Minimum rows per thread before a parallel launch pays for itself.
 const MIN_ROWS_PER_THREAD: usize = 8;
+/// Minimum output columns per thread for the single-row (decode) path.
+const MIN_COLS_PER_THREAD: usize = 128;
+/// K-blocking: one packed `KC × NR` panel is 16 KiB — L1-resident.
+const KC: usize = 256;
+/// Microkernel width: two 8-lane vectors.
+const NR: usize = 16;
+/// Microkernel height (rows of A per register block).
+const MR: usize = 4;
+/// Below this many output rows, packing B cannot amortize; use the
+/// unpacked row-accumulate kernel (the incremental-decode path).
+const SMALL_M: usize = 8;
+/// Tile edge for the blocked transpose.
+const TRANSPOSE_TILE: usize = 32;
 
-/// Inner kernel: `out[m_range, :] = A[m_range, :] @ B` for row-major
-/// `a: [M,K]`, `b: [K,N]`, writing into the chunk for those rows.
-fn mm_rows(
+// ---------------------------------------------------------------------------
+// B-panel packing
+// ---------------------------------------------------------------------------
+
+/// B `[K, N]` repacked as `KC × NR` panels: for each k-block, the full
+/// `NR`-wide column panels are stored contiguously (panel-major, rows of
+/// `NR` within a panel). The `n % NR` remainder columns stay unpacked and
+/// are handled from the raw operand.
+struct PackedB {
+    data: Vec<f32>,
+    /// `(k0, kc, base offset into data)` per k-block, ascending `k0`.
+    k_blocks: Vec<(usize, usize, usize)>,
+    /// Number of full `NR`-wide panels (`n / NR`).
+    n_full: usize,
+}
+
+fn pack_b(b: &[f32], k: usize, n: usize) -> PackedB {
+    let n_full = n / NR;
+    let mut data = Vec::with_capacity(k * n_full * NR);
+    let mut k_blocks = Vec::with_capacity(k.div_ceil(KC));
+    let mut k0 = 0usize;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        k_blocks.push((k0, kc, data.len()));
+        for nb in 0..n_full {
+            for kk in 0..kc {
+                let src = (k0 + kk) * n + nb * NR;
+                data.extend_from_slice(&b[src..src + NR]);
+            }
+        }
+        k0 += kc;
+    }
+    PackedB {
+        data,
+        k_blocks,
+        n_full,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Microkernels
+// ---------------------------------------------------------------------------
+
+/// Portable panel microkernel: one row of A against one `kc × NR` panel,
+/// accumulating into an `NR`-wide output slice. `k` ascends left-to-right
+/// so the accumulation order matches the AVX variants element-for-element.
+fn mk_row_portable(a: &[f32], panel: &[f32], kc: usize, o: &mut [f32]) {
+    let o = &mut o[..NR];
+    let mut kk = 0usize;
+    while kk + 4 <= kc {
+        let (a0, a1, a2, a3) = (a[kk], a[kk + 1], a[kk + 2], a[kk + 3]);
+        let b0 = &panel[kk * NR..kk * NR + NR];
+        let b1 = &panel[(kk + 1) * NR..(kk + 1) * NR + NR];
+        let b2 = &panel[(kk + 2) * NR..(kk + 2) * NR + NR];
+        let b3 = &panel[(kk + 3) * NR..(kk + 3) * NR + NR];
+        for j in 0..NR {
+            o[j] = (((o[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+        }
+        kk += 4;
+    }
+    while kk < kc {
+        let av = a[kk];
+        let b0 = &panel[kk * NR..kk * NR + NR];
+        for j in 0..NR {
+            o[j] += av * b0[j];
+        }
+        kk += 1;
+    }
+}
+
+/// AVX2+FMA microkernel: `MR = 4` rows of A (row stride `lda`) against one
+/// `kc × NR` panel, accumulating into 4 output rows (row stride `ldo`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mk_avx_4x16(a: *const f32, lda: usize, panel: *const f32, kc: usize, o: *mut f32, ldo: usize) {
+    use std::arch::x86_64::*;
+    let mut acc00 = _mm256_loadu_ps(o);
+    let mut acc01 = _mm256_loadu_ps(o.add(8));
+    let mut acc10 = _mm256_loadu_ps(o.add(ldo));
+    let mut acc11 = _mm256_loadu_ps(o.add(ldo + 8));
+    let mut acc20 = _mm256_loadu_ps(o.add(2 * ldo));
+    let mut acc21 = _mm256_loadu_ps(o.add(2 * ldo + 8));
+    let mut acc30 = _mm256_loadu_ps(o.add(3 * ldo));
+    let mut acc31 = _mm256_loadu_ps(o.add(3 * ldo + 8));
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(panel.add(kk * NR));
+        let b1 = _mm256_loadu_ps(panel.add(kk * NR + 8));
+        let a0 = _mm256_set1_ps(*a.add(kk));
+        acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+        acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+        let a1 = _mm256_set1_ps(*a.add(lda + kk));
+        acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+        acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+        let a2 = _mm256_set1_ps(*a.add(2 * lda + kk));
+        acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+        acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+        let a3 = _mm256_set1_ps(*a.add(3 * lda + kk));
+        acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+        acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+    }
+    _mm256_storeu_ps(o, acc00);
+    _mm256_storeu_ps(o.add(8), acc01);
+    _mm256_storeu_ps(o.add(ldo), acc10);
+    _mm256_storeu_ps(o.add(ldo + 8), acc11);
+    _mm256_storeu_ps(o.add(2 * ldo), acc20);
+    _mm256_storeu_ps(o.add(2 * ldo + 8), acc21);
+    _mm256_storeu_ps(o.add(3 * ldo), acc30);
+    _mm256_storeu_ps(o.add(3 * ldo + 8), acc31);
+}
+
+/// AVX2+FMA microkernel for a single row (the `m % MR` remainder). Each
+/// output element's FMA chain is identical to its chain in
+/// [`mk_avx_4x16`], so row grouping never changes results.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mk_avx_1x16(a: *const f32, panel: *const f32, kc: usize, o: *mut f32) {
+    use std::arch::x86_64::*;
+    let mut acc0 = _mm256_loadu_ps(o);
+    let mut acc1 = _mm256_loadu_ps(o.add(8));
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(panel.add(kk * NR));
+        let b1 = _mm256_loadu_ps(panel.add(kk * NR + 8));
+        let av = _mm256_set1_ps(*a.add(kk));
+        acc0 = _mm256_fmadd_ps(av, b0, acc0);
+        acc1 = _mm256_fmadd_ps(av, b1, acc1);
+    }
+    _mm256_storeu_ps(o, acc0);
+    _mm256_storeu_ps(o.add(8), acc1);
+}
+
+/// Unpacked row-accumulate: `o[0..n] += Σ_k a[kk] · b[kk, 0..n]` for a
+/// row-major `b: [k, n]`, `k` ascending. Used where packing cannot pay:
+/// tiny `m` (decode) and the per-batch `bmm` kernels.
+fn accumulate_row(o: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k);
+    debug_assert!(b.len() >= k * n);
+    debug_assert_eq!(o.len(), n);
+    #[cfg(target_arch = "x86_64")]
+    if simd::use_avx2_fma() {
+        // Safety: feature checked; slice bounds asserted above.
+        unsafe { accumulate_row_avx(o, a, b, k, n) };
+        return;
+    }
+    let mut kk = 0usize;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (a[kk], a[kk + 1], a[kk + 2], a[kk + 3]);
+        let b0 = &b[kk * n..kk * n + n];
+        let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+        let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+        let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+        for j in 0..n {
+            o[j] = (((o[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let av = a[kk];
+        let b0 = &b[kk * n..kk * n + n];
+        for j in 0..n {
+            o[j] += av * b0[j];
+        }
+        kk += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn accumulate_row_avx(o: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    use std::arch::x86_64::*;
+    let op = o.as_mut_ptr();
+    let bp = b.as_ptr();
+    let mut kk = 0usize;
+    while kk + 4 <= k {
+        let a0 = _mm256_set1_ps(a[kk]);
+        let a1 = _mm256_set1_ps(a[kk + 1]);
+        let a2 = _mm256_set1_ps(a[kk + 2]);
+        let a3 = _mm256_set1_ps(a[kk + 3]);
+        let r0 = bp.add(kk * n);
+        let r1 = bp.add((kk + 1) * n);
+        let r2 = bp.add((kk + 2) * n);
+        let r3 = bp.add((kk + 3) * n);
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let mut v = _mm256_loadu_ps(op.add(j));
+            v = _mm256_fmadd_ps(a0, _mm256_loadu_ps(r0.add(j)), v);
+            v = _mm256_fmadd_ps(a1, _mm256_loadu_ps(r1.add(j)), v);
+            v = _mm256_fmadd_ps(a2, _mm256_loadu_ps(r2.add(j)), v);
+            v = _mm256_fmadd_ps(a3, _mm256_loadu_ps(r3.add(j)), v);
+            _mm256_storeu_ps(op.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            let mut v = *op.add(j);
+            v += a[kk] * *r0.add(j);
+            v += a[kk + 1] * *r1.add(j);
+            v += a[kk + 2] * *r2.add(j);
+            v += a[kk + 3] * *r3.add(j);
+            *op.add(j) = v;
+            j += 1;
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let av = _mm256_set1_ps(a[kk]);
+        let r0 = bp.add(kk * n);
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let v = _mm256_fmadd_ps(av, _mm256_loadu_ps(r0.add(j)), _mm256_loadu_ps(op.add(j)));
+            _mm256_storeu_ps(op.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) += a[kk] * *r0.add(j);
+            j += 1;
+        }
+        kk += 1;
+    }
+}
+
+/// The packed GEMM inner driver: `out[rows, :] += A[rows, :] @ B` for a
+/// worker's row range, sweeping k-blocks (ascending) × panels × rows.
+fn gemm_rows_packed(
     rows: std::ops::Range<usize>,
-    out_chunk: &mut [f32],
+    chunk: &mut [f32],
     a: &[f32],
-    b: &[f32],
-    k: usize,
+    lda: usize,
+    pb: &PackedB,
+    b_raw: &[f32],
     n: usize,
 ) {
-    out_chunk.fill(0.0);
-    for (local, m) in rows.enumerate() {
-        let a_row = &a[m * k..(m + 1) * k];
-        let o_row = &mut out_chunk[local * n..(local + 1) * n];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    chunk.fill(0.0);
+    #[cfg(target_arch = "x86_64")]
+    let avx = simd::use_avx2_fma();
+    #[cfg(not(target_arch = "x86_64"))]
+    let avx = false;
+    let n_edge_start = pb.n_full * NR;
+    for &(k0, kc, base) in &pb.k_blocks {
+        for nb in 0..pb.n_full {
+            let panel = &pb.data[base + nb * kc * NR..base + (nb + 1) * kc * NR];
+            let mut r = rows.start;
+            while r < rows.end {
+                let local = r - rows.start;
+                let take = MR.min(rows.end - r);
+                #[cfg(target_arch = "x86_64")]
+                if avx {
+                    // Safety: row/panel/output bounds all hold by
+                    // construction; feature presence checked once above.
+                    unsafe {
+                        let a_ptr = a.as_ptr().add(r * lda + k0);
+                        let o_ptr = chunk.as_mut_ptr().add(local * n + nb * NR);
+                        if take == MR {
+                            mk_avx_4x16(a_ptr, lda, panel.as_ptr(), kc, o_ptr, n);
+                        } else {
+                            for rr in 0..take {
+                                mk_avx_1x16(a_ptr.add(rr * lda), panel.as_ptr(), kc, o_ptr.add(rr * n));
+                            }
+                        }
+                    }
+                    r += take;
+                    continue;
+                }
+                let _ = avx;
+                for rr in 0..take {
+                    let row = r + rr;
+                    let a_row = &a[row * lda + k0..row * lda + k0 + kc];
+                    let o_row = &mut chunk[(local + rr) * n + nb * NR..(local + rr) * n + nb * NR + NR];
+                    mk_row_portable(a_row, panel, kc, o_row);
+                }
+                r += take;
             }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
+        }
+        // n % NR remainder columns, straight from the raw operand.
+        if n_edge_start < n {
+            for (local, row) in rows.clone().enumerate() {
+                let o_row = &mut chunk[local * n..(local + 1) * n];
+                for kk in 0..kc {
+                    let av = a[row * lda + k0 + kk];
+                    let b_row = &b_raw[(k0 + kk) * n..(k0 + kk) * n + n];
+                    for j in n_edge_start..n {
+                        o_row[j] += av * b_row[j];
+                    }
+                }
             }
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Public kernels
+// ---------------------------------------------------------------------------
 
 /// `C = A @ B` for `a: [M,K]`, `b: [K,N]` → `[M,N]`.
 ///
@@ -53,18 +345,38 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-    let mut out = vec![0.0f32; m * n];
-    let (ad, bd) = (a.data(), b.data());
-    parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
-        mm_rows(rows, chunk, ad, bd, k, n);
-    });
+    let out = matmul_raw(a.data(), b.data(), m, k, n);
     Tensor::from_parts(Shape(vec![m, n]), out)
+}
+
+/// Kernel body shared by [`matmul`] and [`matmul_transa`].
+fn matmul_raw(ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m < SMALL_M || n < NR {
+        // Packing can't amortize (decode-sized or skinny output): run the
+        // unpacked row-accumulate kernel, row-parallel.
+        parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
+            for (local, row) in rows.enumerate() {
+                let o_row = &mut chunk[local * n..(local + 1) * n];
+                accumulate_row(o_row, &ad[row * k..(row + 1) * k], bd, k, n);
+            }
+        });
+        return out;
+    }
+    // Pack once on the launching thread; workers share it read-only.
+    let pb = pack_b(bd, k, n);
+    parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
+        gemm_rows_packed(rows, chunk, ad, k, &pb, bd, n);
+    });
+    out
 }
 
 /// `C = A @ Bᵀ` for `a: [M,K]`, `b: [N,K]` → `[M,N]`.
 ///
-/// Used by backward passes (`dX = dY @ Wᵀ`) without materializing the
-/// transpose. The dot-product inner loop is auto-vectorization friendly.
+/// Used by backward passes (`dX = dY @ Wᵀ`) and the tied LM head without
+/// materializing the transpose. Rows of both operands are contiguous, so
+/// this is a dot-product kernel; with one output row (per-token decode)
+/// the parallelism axis switches to output columns.
 pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 2, "matmul_transb: lhs rank-2 required");
     assert_eq!(b.rank(), 2, "matmul_transb: rhs rank-2 required");
@@ -78,22 +390,43 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
     );
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
-        for (local, mm) in rows.enumerate() {
-            let a_row = &ad[mm * k..(mm + 1) * k];
-            for nn in 0..n {
-                let b_row = &bd[nn * k..(nn + 1) * k];
-                let dot: f32 = a_row.iter().zip(b_row.iter()).map(|(&x, &y)| x * y).sum();
-                chunk[local * n + nn] = dot;
+    if m == 1 {
+        // Decode path: one output row of N dots — split the columns.
+        struct SendPtr(*mut f32);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        impl SendPtr {
+            fn get(&self) -> *mut f32 {
+                self.0
             }
         }
-    });
+        let base = SendPtr(out.as_mut_ptr());
+        parallel_chunks(n, MIN_COLS_PER_THREAD, |s, e, _| {
+            // Safety: disjoint column ranges, each written exactly once.
+            let o = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+            for (j, nn) in (s..e).enumerate() {
+                o[j] = simd::dot(ad, &bd[nn * k..nn * k + k]);
+            }
+        });
+    } else {
+        parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
+            for (local, mm) in rows.enumerate() {
+                let a_row = &ad[mm * k..(mm + 1) * k];
+                let o_row = &mut chunk[local * n..(local + 1) * n];
+                for (nn, o) in o_row.iter_mut().enumerate() {
+                    *o = simd::dot(a_row, &bd[nn * k..nn * k + k]);
+                }
+            }
+        });
+    }
     Tensor::from_parts(Shape(vec![m, n]), out)
 }
 
 /// `C = Aᵀ @ B` for `a: [K,M]`, `b: [K,N]` → `[M,N]`.
 ///
-/// Used by backward passes (`dW = Xᵀ @ dY`).
+/// Used by backward passes (`dW = Xᵀ @ dY`). A is transposed tile-wise
+/// into a scratch `[M,K]` buffer (a O(MK) copy against O(MKN) flops) so
+/// the packed GEMM driver can run unchanged.
 pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 2, "matmul_transa: lhs rank-2 required");
     assert_eq!(b.rank(), 2, "matmul_transa: rhs rank-2 required");
@@ -105,25 +438,9 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-    let mut out = vec![0.0f32; m * n];
-    let (ad, bd) = (a.data(), b.data());
-    // Parallelize over output rows m; each output row m is sum_k A[k,m]*B[k,:].
-    parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
-        chunk.fill(0.0);
-        for (local, mm) in rows.enumerate() {
-            let o_row = &mut chunk[local * n..(local + 1) * n];
-            for kk in 0..k {
-                let av = ad[kk * m + mm];
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &bd[kk * n..(kk + 1) * n];
-                for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += av * bv;
-                }
-            }
-        }
-    });
+    let mut at = vec![0.0f32; m * k];
+    transpose_into(&mut at, a.data(), k, m);
+    let out = matmul_raw(&at, b.data(), m, k, n);
     Tensor::from_parts(Shape(vec![m, n]), out)
 }
 
@@ -174,44 +491,31 @@ fn bmm_impl(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
     let a_stride = a.dims()[1] * a.dims()[2];
     let b_stride = b.dims()[1] * b.dims()[2];
     let mut out = vec![0.0f32; batch * m * n];
-    // Parallelize across the fused (batch, m) row space.
+    // Parallelize across the fused (batch, m) row space; per-batch mats
+    // are attention-sized, so the unpacked kernels are the right tool.
     parallel_rows_mut(&mut out, batch * m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
         for (local, row) in rows.enumerate() {
             let (bi, mm) = (row / m, row % m);
             let a_mat = &ad[bi * a_stride..(bi + 1) * a_stride];
             let b_mat = &bd[bi * b_stride..(bi + 1) * b_stride];
             let o_row = &mut chunk[local * n..(local + 1) * n];
-            o_row.fill(0.0);
             match (ta, tb) {
                 (false, false) => {
-                    for kk in 0..k {
-                        let av = a_mat[mm * k + kk];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b_mat[kk * n..(kk + 1) * n];
-                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                            *o += av * bv;
-                        }
-                    }
+                    o_row.fill(0.0);
+                    accumulate_row(o_row, &a_mat[mm * k..(mm + 1) * k], b_mat, k, n);
                 }
                 (false, true) => {
                     let a_row = &a_mat[mm * k..(mm + 1) * k];
                     for (nn, o) in o_row.iter_mut().enumerate() {
-                        let b_row = &b_mat[nn * k..(nn + 1) * k];
-                        *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+                        *o = simd::dot(a_row, &b_mat[nn * k..nn * k + k]);
                     }
                 }
                 (true, false) => {
+                    o_row.fill(0.0);
+                    // strided A column: gather into a register per k step
                     for kk in 0..k {
                         let av = a_mat[kk * m + mm];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b_mat[kk * n..(kk + 1) * n];
-                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                            *o += av * bv;
-                        }
+                        simd::axpy(av, &b_mat[kk * n..kk * n + n], o_row);
                     }
                 }
                 (true, true) => unreachable!("bmm: double transpose not exposed"),
@@ -221,23 +525,41 @@ fn bmm_impl(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
     Tensor::from_parts(Shape(vec![batch, m, n]), out)
 }
 
-/// Transpose a rank-2 tensor.
+/// Tile-wise transpose of a row-major `[rows, cols]` buffer into `out`
+/// (`[cols, rows]`). Both tiles stay cache-resident, so large transposes
+/// stop thrashing: the naive element loop walks one operand with a
+/// `rows`-element stride across the whole matrix.
+fn transpose_into(out: &mut [f32], d: &[f32], rows: usize, cols: usize) {
+    debug_assert_eq!(out.len(), rows * cols);
+    debug_assert_eq!(d.len(), rows * cols);
+    for i0 in (0..rows).step_by(TRANSPOSE_TILE) {
+        let i_end = (i0 + TRANSPOSE_TILE).min(rows);
+        for j0 in (0..cols).step_by(TRANSPOSE_TILE) {
+            let j_end = (j0 + TRANSPOSE_TILE).min(cols);
+            for i in i0..i_end {
+                for j in j0..j_end {
+                    out[j * rows + i] = d[i * cols + j];
+                }
+            }
+        }
+    }
+}
+
+/// Transpose a rank-2 tensor (tile-blocked copy).
 pub fn transpose2d(t: &Tensor) -> Tensor {
     assert_eq!(t.rank(), 2, "transpose2d requires rank-2");
     let (m, n) = (t.dims()[0], t.dims()[1]);
-    let d = t.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = d[i * n + j];
-        }
-    }
+    transpose_into(&mut out, t.data(), m, n);
     Tensor::from_parts(Shape(vec![n, m]), out)
 }
 
 /// Permute axes of an arbitrary-rank tensor (a full copy).
 ///
-/// `axes` must be a permutation of `0..rank`.
+/// `axes` must be a permutation of `0..rank`. The source offset is
+/// carried incrementally through the mixed-radix counter (O(1) amortized
+/// per element instead of O(rank)), and output-contiguous inner runs are
+/// block-copied.
 pub fn permute(t: &Tensor, axes: &[usize]) -> Tensor {
     let rank = t.rank();
     assert_eq!(axes.len(), rank, "permute: axes len != rank");
@@ -249,24 +571,48 @@ pub fn permute(t: &Tensor, axes: &[usize]) -> Tensor {
     let in_dims = t.dims();
     let out_dims: Vec<usize> = axes.iter().map(|&a| in_dims[a]).collect();
     let in_strides = t.shape().strides();
+    // Stride in the *input* for a unit step along each *output* dim.
+    let step: Vec<usize> = axes.iter().map(|&a| in_strides[a]).collect();
     let out_shape = Shape(out_dims.clone());
-    let mut out = vec![0.0f32; t.numel()];
+    let numel = t.numel();
+    let mut out = vec![0.0f32; numel];
     let d = t.data();
-    // Walk the output in order; compute the source offset incrementally.
+    if numel == 0 {
+        return Tensor::from_parts(out_shape, out);
+    }
+    let inner = rank - 1;
+    let inner_len = out_dims[inner];
     let mut idx = vec![0usize; rank];
-    for o in out.iter_mut() {
-        let mut src = 0usize;
-        for (dim, &i) in idx.iter().enumerate() {
-            src += i * in_strides[axes[dim]];
+    let mut src = 0usize;
+    if step[inner] == 1 && inner_len > 1 {
+        // The output's innermost dim walks the input contiguously:
+        // copy whole runs, incrementing the source offset per outer step.
+        let mut pos = 0usize;
+        while pos < numel {
+            out[pos..pos + inner_len].copy_from_slice(&d[src..src + inner_len]);
+            pos += inner_len;
+            for dim in (0..inner).rev() {
+                idx[dim] += 1;
+                if idx[dim] < out_dims[dim] {
+                    src += step[dim];
+                    break;
+                }
+                idx[dim] = 0;
+                src -= (out_dims[dim] - 1) * step[dim];
+            }
         }
+        return Tensor::from_parts(out_shape, out);
+    }
+    for o in out.iter_mut() {
         *o = d[src];
-        // increment mixed-radix counter over out_dims
         for dim in (0..rank).rev() {
             idx[dim] += 1;
             if idx[dim] < out_dims[dim] {
+                src += step[dim];
                 break;
             }
             idx[dim] = 0;
+            src -= (out_dims[dim] - 1) * step[dim];
         }
     }
     Tensor::from_parts(out_shape, out)
@@ -299,6 +645,40 @@ mod tests {
         assert_eq!(&c.data()[8..], &[8.0, 10.0, 12.0, 14.0]);
     }
 
+    /// The packed/blocked path must agree with a naive triple loop on
+    /// shapes that exercise every edge: m % MR, n % NR, k % KC, k % 4.
+    #[test]
+    fn packed_kernel_matches_naive_on_edge_shapes() {
+        for &(m, k, n) in &[
+            (9usize, 7usize, 17usize),
+            (8, 4, 16),
+            (13, 300, 33),
+            (16, 5, 16),
+            (33, 16, 40),
+            (1, 64, 100),
+            (3, 31, 7),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 31 + 7) % 23) as f32 * 0.25 - 2.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i * 17 + 3) % 19) as f32 * 0.5 - 4.0).collect();
+            let mut naive = vec![0.0f32; m * n];
+            for mm in 0..m {
+                for kk in 0..k {
+                    for nn in 0..n {
+                        naive[mm * n + nn] += a[mm * k + kk] * b[kk * n + nn];
+                    }
+                }
+            }
+            let at = Tensor::from_vec(a, &[m, k]).unwrap();
+            let bt = Tensor::from_vec(b, &[k, n]).unwrap();
+            let c = matmul(&at, &bt);
+            let nt = Tensor::from_vec(naive, &[m, n]).unwrap();
+            assert!(
+                c.allclose(&nt, 1e-3),
+                "mismatch at shape ({m},{k},{n})"
+            );
+        }
+    }
+
     #[test]
     fn transb_matches_explicit_transpose() {
         let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
@@ -308,7 +688,30 @@ mod tests {
             3,
         ); // treated as Bᵀ: 3x4
         let expect = matmul(&a, &transpose2d(&b));
-        assert_eq!(matmul_transb(&a, &b), expect);
+        assert!(matmul_transb(&a, &b).allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn transb_single_row_matches_multi_row_path() {
+        // m == 1 (column-parallel decode path) must agree with the same
+        // row computed through the m > 1 path.
+        let k = 37;
+        let n = 300;
+        let a1: Vec<f32> = (0..k).map(|i| (i as f32) * 0.1 - 1.5).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| ((i * 13) % 29) as f32 * 0.2 - 2.0).collect();
+        let mut a2 = a1.clone();
+        a2.extend(a1.iter().map(|v| v * 2.0));
+        let one = matmul_transb(
+            &Tensor::from_vec(a1, &[1, k]).unwrap(),
+            &Tensor::from_vec(b.clone(), &[n, k]).unwrap(),
+        );
+        let two = matmul_transb(
+            &Tensor::from_vec(a2, &[2, k]).unwrap(),
+            &Tensor::from_vec(b, &[n, k]).unwrap(),
+        );
+        for j in 0..n {
+            assert_eq!(one.data()[j].to_bits(), two.data()[j].to_bits());
+        }
     }
 
     #[test]
@@ -316,7 +719,7 @@ mod tests {
         let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2); // Aᵀ: 2x3
         let b = t2(&[1.0, 0.5, -1.0, 2.0, 0.0, 3.0], 3, 2);
         let expect = matmul(&transpose2d(&a), &b);
-        assert_eq!(matmul_transa(&a, &b), expect);
+        assert!(matmul_transa(&a, &b).allclose(&expect, 1e-5));
     }
 
     #[test]
@@ -329,7 +732,9 @@ mod tests {
             let am = Tensor::from_vec(a.data()[bi * 6..(bi + 1) * 6].to_vec(), &[2, 3]).unwrap();
             let bm = Tensor::from_vec(b.data()[bi * 12..(bi + 1) * 12].to_vec(), &[3, 4]).unwrap();
             let cm = matmul(&am, &bm);
-            assert_eq!(&c.data()[bi * 8..(bi + 1) * 8], cm.data());
+            assert!(Tensor::from_vec(c.data()[bi * 8..(bi + 1) * 8].to_vec(), &[2, 4])
+                .unwrap()
+                .allclose(&cm, 1e-5));
         }
     }
 
@@ -372,6 +777,21 @@ mod tests {
     }
 
     #[test]
+    fn transpose_blocked_matches_naive() {
+        // shapes around the tile edge
+        for &(m, n) in &[(1usize, 1usize), (31, 33), (32, 32), (65, 7), (7, 65)] {
+            let t = Tensor::from_vec((0..m * n).map(|i| i as f32).collect(), &[m, n]).unwrap();
+            let tt = transpose2d(&t);
+            assert_eq!(tt.dims(), &[n, m]);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(tt.at(&[j, i]), t.at(&[i, j]));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn permute_3d() {
         let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]).unwrap();
         let p = permute(&t, &[1, 0, 2]);
@@ -393,6 +813,22 @@ mod tests {
     }
 
     #[test]
+    fn permute_strided_inner_axis() {
+        // output inner dim maps to input dim 0 (stride != 1): exercises
+        // the incremental-offset path rather than the run-copy path
+        let t = Tensor::from_vec((0..30).map(|i| i as f32).collect(), &[5, 3, 2]).unwrap();
+        let p = permute(&t, &[2, 1, 0]);
+        assert_eq!(p.dims(), &[2, 3, 5]);
+        for i in 0..5 {
+            for j in 0..3 {
+                for k in 0..2 {
+                    assert_eq!(p.at(&[k, j, i]), t.at(&[i, j, k]));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn matmul_parallel_matches_serial() {
         use crate::par::set_num_threads;
         let a = Tensor::from_vec((0..64 * 32).map(|i| (i % 13) as f32 * 0.1).collect(), &[64, 32])
@@ -404,6 +840,8 @@ mod tests {
         set_num_threads(4);
         let par = matmul(&a, &b);
         set_num_threads(0);
-        assert!(serial.allclose(&par, 1e-6));
+        for (x, y) in serial.data().iter().zip(par.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "thread count changed bits");
+        }
     }
 }

@@ -10,8 +10,10 @@ pub mod elementwise;
 pub mod matmul;
 pub mod nn;
 pub mod reduce;
+pub mod simd;
 
 pub use elementwise::*;
 pub use matmul::*;
 pub use nn::*;
 pub use reduce::*;
+pub use simd::{axpy, dot};

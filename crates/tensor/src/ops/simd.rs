@@ -1,0 +1,167 @@
+//! Vectorized scalar-free inner loops shared by the matmul kernels and the
+//! incremental decode path.
+//!
+//! The workspace builds for baseline `x86-64` (SSE2) so it runs anywhere,
+//! but the training/decoding hot loops are worth specializing: when the
+//! host CPU reports AVX2+FMA at runtime we dispatch to 8-lane fused
+//! multiply-add kernels, otherwise to portable loops the auto-vectorizer
+//! handles. Selection happens **once per process** and never depends on
+//! thread count or data values, so results are deterministic on a given
+//! machine (FMA contracts differently from mul+add, so bits may differ
+//! *across* machines — golden tests only ever compare run-vs-run).
+//!
+//! Every kernel here accumulates in a fixed k-ascending order per output
+//! element, which is what lets the blocked, multithreaded matmuls promise
+//! byte-identical results for any `set_num_threads` value.
+
+/// True when the 8-lane FMA kernels are usable on this host.
+#[inline]
+pub(crate) fn use_avx2_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED
+            .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Dot product with a fixed reduction tree (independent of call site).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2_fma() {
+        // Safety: feature presence checked above.
+        return unsafe { dot_avx(a, b) };
+    }
+    dot_portable(a, b)
+}
+
+fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
+    // Four independent accumulator chains so the auto-vectorizer can keep
+    // lanes busy; the combine order is fixed.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let (x, y) = (&a[i * 4..i * 4 + 4], &b[i * 4..i * 4 + 4]);
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(ap.add(i + 8)),
+            _mm256_loadu_ps(bp.add(i + 8)),
+            acc1,
+        );
+        i += 16;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        i += 8;
+    }
+    let acc = _mm256_add_ps(acc0, acc1);
+    // horizontal sum: (lo + hi) then pairwise
+    let lo = _mm256_castps256_ps128(acc);
+    let hi = _mm256_extractf128_ps(acc, 1);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    let mut total = _mm_cvtss_f32(s);
+    while i < n {
+        total += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    total
+}
+
+/// `y[j] += alpha * x[j]` — the attention context update.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2_fma() {
+        // Safety: feature presence checked above.
+        unsafe { axpy_avx(alpha, x, y) };
+        return;
+    }
+    for (o, &v) in y.iter_mut().zip(x.iter()) {
+        *o += alpha * v;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx(alpha: f32, x: &[f32], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+    let av = _mm256_set1_ps(alpha);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(yp.add(j)));
+        _mm256_storeu_ps(yp.add(j), acc);
+        j += 8;
+    }
+    while j < n {
+        *yp.add(j) += alpha * *xp.add(j);
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32) * 0.25 - 3.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| 1.5 - (i as f32) * 0.125).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dot_is_reproducible() {
+        let a: Vec<f32> = (0..100).map(|i| ((i * 37) % 11) as f32 * 0.3).collect();
+        let b: Vec<f32> = (0..100).map(|i| ((i * 13) % 7) as f32 * 0.7).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn axpy_matches_naive() {
+        let x: Vec<f32> = (0..23).map(|i| i as f32 * 0.5).collect();
+        let mut y: Vec<f32> = (0..23).map(|i| 10.0 - i as f32).collect();
+        let mut expect = y.clone();
+        for (e, &v) in expect.iter_mut().zip(&x) {
+            *e += 2.0 * v;
+        }
+        axpy(2.0, &x, &mut y);
+        for (a, e) in y.iter().zip(&expect) {
+            assert!((a - e).abs() < 1e-5);
+        }
+    }
+}

@@ -1,11 +1,35 @@
-//! Scoped-thread data parallelism for the heavy kernels.
+//! Persistent-pool data parallelism for the heavy kernels.
 //!
 //! The paper trained on an Nvidia A100 ("2–3 days on CPU vs ~16 h on GPU").
 //! Our substitute for that hardware axis is CPU thread parallelism: the
 //! worker count is a process-wide runtime knob so the `training_speedup`
 //! reproduction binary can sweep 1→N threads over the identical workload.
+//!
+//! Kernels used to spawn (and join) fresh `std::thread::scope` threads on
+//! every launch, which puts a thread create/destroy pair on every matmul in
+//! the training and decoding hot path. This module instead keeps a
+//! lazily-initialized pool of parked workers alive for the life of the
+//! process and hands them work over `mpsc` channels:
+//!
+//! * **Lazy & growable** — no threads exist until the first parallel launch;
+//!   the pool grows to the largest worker count ever requested and idle
+//!   workers block on their (empty) task channel, costing no CPU.
+//! * **Deterministic** — chunk boundaries are a pure function of
+//!   `(len, num_threads())`, chunk `i` always runs on worker `i-1` (chunk 0
+//!   runs inline on the launching thread), and every kernel accumulates in
+//!   a fixed order within its chunk, so results are byte-identical across
+//!   thread counts and across runs.
+//! * **Nested-launch safe** — a parallel region launched from inside a pool
+//!   worker runs inline on that worker instead of re-entering the pool, so
+//!   nested kernels can never deadlock on a full pool.
+//! * **Panic-transparent** — a panicking task is caught on the worker,
+//!   forwarded to the launcher, and re-thrown there after all sibling tasks
+//!   finish; the worker itself survives for the next launch.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, OnceLock};
 
 /// 0 means "use all available parallelism".
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -13,7 +37,9 @@ static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// Set the number of worker threads used by parallel kernels.
 ///
 /// `0` restores the default (all available cores). Takes effect for
-/// subsequent kernel launches; in-flight kernels are unaffected.
+/// subsequent kernel launches; in-flight kernels are unaffected. Thread
+/// count never changes kernel results — chunking is deterministic and
+/// per-chunk accumulation order is fixed.
 pub fn set_num_threads(n: usize) {
     NUM_THREADS.store(n, Ordering::Relaxed);
 }
@@ -28,9 +54,159 @@ pub fn num_threads() -> usize {
     }
 }
 
+/// Result of one pool task: `Ok` or the payload of a caught panic.
+type TaskResult = Result<(), Box<dyn std::any::Any + Send>>;
+
+/// A unit of work sent to one pool worker: run `f(index)`, then ack.
+struct Job {
+    /// Lifetime-erased task closure. Soundness: the launcher blocks on the
+    /// `done` channel (in [`Latch`]) until every job has acked, so the
+    /// borrow outlives all worker access even though it is typed `'static`.
+    f: &'static (dyn Fn(usize) + Sync),
+    index: usize,
+    done: mpsc::Sender<TaskResult>,
+}
+
+struct Pool {
+    /// One task channel per worker; index in this vec == worker id.
+    senders: Mutex<Vec<mpsc::Sender<Job>>>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set once inside pool workers: nested launches run inline.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        senders: Mutex::new(Vec::new()),
+    })
+}
+
+impl Pool {
+    /// Grow the pool to at least `n` workers and return their senders.
+    fn workers(&self, n: usize) -> Vec<mpsc::Sender<Job>> {
+        let mut senders = self.senders.lock().unwrap();
+        while senders.len() < n {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let id = senders.len();
+            std::thread::Builder::new()
+                .name(format!("rat-pool-{id}"))
+                .spawn(move || worker_loop(rx))
+                .expect("failed to spawn pool worker");
+            senders.push(tx);
+        }
+        senders[..n].to_vec()
+    }
+}
+
+fn worker_loop(rx: mpsc::Receiver<Job>) {
+    IS_POOL_WORKER.with(|w| w.set(true));
+    // The receiver errors only when the pool itself is dropped (process
+    // exit), which is this worker's shutdown signal.
+    while let Ok(job) = rx.recv() {
+        let result = catch_unwind(AssertUnwindSafe(|| (job.f)(job.index)));
+        // A send error means the launcher already gave up (its latch was
+        // dropped during an unwind after draining); nothing left to do.
+        let _ = job.done.send(result);
+    }
+}
+
+/// Blocks until all dispatched jobs have acked. The `Drop` impl is the
+/// soundness backstop: even if the launcher's inline chunk panics, the
+/// borrow handed to the workers stays alive until they are all done.
+struct Latch {
+    rx: mpsc::Receiver<TaskResult>,
+    outstanding: usize,
+}
+
+impl Latch {
+    /// Wait for every outstanding ack; return the first panic payload.
+    fn drain(&mut self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut panic = None;
+        while self.outstanding > 0 {
+            match self.rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(p)) => {
+                    if panic.is_none() {
+                        panic = Some(p);
+                    }
+                }
+                // All senders dropped: a worker died before acking. Treat
+                // the remaining jobs as lost rather than hang forever.
+                Err(_) => break,
+            }
+            self.outstanding -= 1;
+        }
+        self.outstanding = 0;
+        panic
+    }
+}
+
+impl Drop for Latch {
+    fn drop(&mut self) {
+        let _ = self.drain();
+    }
+}
+
+/// Run `f(0)`, `f(1)`, …, `f(tasks-1)` exactly once each, concurrently on
+/// the persistent pool. Task 0 runs inline on the calling thread; task `i`
+/// runs on pool worker `i-1` (a fixed assignment, for determinism).
+///
+/// Runs everything inline when `tasks <= 1` or when called from inside a
+/// pool worker (nested launch). Panics in any task propagate to the caller
+/// after all tasks have finished.
+pub fn run_tasks<F>(tasks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if tasks == 0 {
+        return;
+    }
+    if tasks == 1 || IS_POOL_WORKER.with(|w| w.get()) {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+    let senders = pool().workers(tasks - 1);
+    let (done_tx, done_rx) = mpsc::channel::<TaskResult>();
+    // Erase the stack lifetime: the Latch below (drained on every exit
+    // path, including unwinds, via Drop) guarantees no worker touches `f`
+    // after this frame is gone.
+    let f_ref: &(dyn Fn(usize) + Sync) = &f;
+    let f_static: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(f_ref) };
+    let mut latch = Latch {
+        rx: done_rx,
+        outstanding: 0,
+    };
+    for (w, sender) in senders.iter().enumerate() {
+        sender
+            .send(Job {
+                f: f_static,
+                index: w + 1,
+                done: done_tx.clone(),
+            })
+            .expect("pool worker channel closed");
+        latch.outstanding += 1;
+    }
+    drop(done_tx);
+    let local = catch_unwind(AssertUnwindSafe(|| f(0)));
+    let worker_panic = latch.drain();
+    if let Err(p) = local {
+        std::panic::resume_unwind(p);
+    }
+    if let Some(p) = worker_panic {
+        std::panic::resume_unwind(p);
+    }
+}
+
 /// Run `f(start, end, chunk_index)` over disjoint chunks of `0..len` on
-/// scoped threads. Falls back to a direct call when one thread suffices or
-/// the work is too small to amortize thread spawn cost.
+/// the persistent pool. Falls back to a direct call when one thread
+/// suffices or the work is too small to amortize a pool launch.
 ///
 /// `f` must be safe to run concurrently on disjoint ranges — callers
 /// partition their output buffers accordingly.
@@ -44,24 +220,36 @@ where
         return;
     }
     let chunk = len.div_ceil(threads);
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(len);
-            if start >= end {
-                break;
-            }
-            let fref = &f;
-            s.spawn(move || fref(start, end, t));
+    let tasks = len.div_ceil(chunk);
+    run_tasks(tasks, |t| {
+        let start = t * chunk;
+        let end = ((t + 1) * chunk).min(len);
+        if start < end {
+            f(start, end, t);
         }
     });
 }
+
+/// A raw chunk of the output buffer, pre-split so disjoint `&mut` slices
+/// can be reconstructed inside the shared task closure.
+struct RawPart {
+    start_row: usize,
+    end_row: usize,
+    ptr: *mut f32,
+    len: usize,
+}
+
+// Safety: each part points at a disjoint region of one output buffer and
+// is consumed by exactly one task.
+unsafe impl Send for RawPart {}
+unsafe impl Sync for RawPart {}
 
 /// Fill disjoint row-chunks of `out`, where each chunk of `rows` rows of
 /// width `row_len` is produced by `f(row_range, out_chunk)`.
 ///
 /// This is the safe wrapper the matmul kernels use: the output buffer is
-/// split with `chunks_mut`, so no unsafe aliasing is needed.
+/// pre-split into disjoint parts (boundaries depend only on `rows` and the
+/// thread count, never on scheduling), so no aliasing is possible.
 pub fn parallel_rows_mut<F>(out: &mut [f32], rows: usize, row_len: usize, min_rows: usize, f: F)
 where
     F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
@@ -73,18 +261,25 @@ where
         return;
     }
     let rows_per = rows.div_ceil(threads);
-    std::thread::scope(|s| {
-        let mut rest = out;
-        let mut row = 0usize;
-        let fref = &f;
-        while row < rows {
-            let take = rows_per.min(rows - row);
-            let (head, tail) = rest.split_at_mut(take * row_len);
-            let range = row..row + take;
-            s.spawn(move || fref(range, head));
-            rest = tail;
-            row += take;
-        }
+    let base = out.as_mut_ptr();
+    let mut parts = Vec::with_capacity(threads);
+    let mut row = 0usize;
+    while row < rows {
+        let take = rows_per.min(rows - row);
+        parts.push(RawPart {
+            start_row: row,
+            end_row: row + take,
+            // Safety: in-bounds offset of the `out` allocation.
+            ptr: unsafe { base.add(row * row_len) },
+            len: take * row_len,
+        });
+        row += take;
+    }
+    run_tasks(parts.len(), |i| {
+        let p = &parts[i];
+        // Safety: parts are disjoint and each task index runs exactly once.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(p.ptr, p.len) };
+        f(p.start_row..p.end_row, chunk);
     });
 }
 
@@ -144,5 +339,52 @@ mod tests {
             chunk.fill(1.0);
         });
         assert_eq!(out, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn repeated_launches_reuse_pool() {
+        use std::sync::atomic::AtomicU64;
+        let total = AtomicU64::new(0);
+        for _ in 0..200 {
+            parallel_chunks(64, 1, |s, e, _| {
+                total.fetch_add((e - s) as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200 * 64);
+    }
+
+    #[test]
+    fn nested_launches_run_inline_without_deadlock() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u32; 256]);
+        parallel_chunks(256, 1, |s, e, _| {
+            // nested launch from (potentially) inside a pool worker
+            parallel_chunks(e - s, 1, |ns, ne, _| {
+                let mut h = hits.lock().unwrap();
+                for i in s + ns..s + ne {
+                    h[i] += 1;
+                }
+            });
+        });
+        assert!(hits.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_chunks(64, 1, |s, _, _| {
+                if s == 0 {
+                    panic!("boom in chunk 0");
+                }
+            });
+        });
+        assert!(caught.is_err(), "panic must propagate to the launcher");
+        // pool still functional after the panic
+        use std::sync::Mutex;
+        let hits = Mutex::new(0usize);
+        parallel_chunks(128, 1, |s, e, _| {
+            *hits.lock().unwrap() += e - s;
+        });
+        assert_eq!(*hits.lock().unwrap(), 128);
     }
 }

@@ -20,8 +20,10 @@ cargo build --workspace --release --offline
 echo "== test (all targets) =="
 cargo test --workspace -q --offline
 
-echo "== bench smoke (fast mode, one harness) =="
+echo "== bench smoke (fast mode, kernel + generation harnesses) =="
 RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD/target}" \
     cargo bench -p ratatouille-bench --bench tensor_kernels --offline
+RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD/target}" \
+    cargo bench -p ratatouille-bench --bench generation_latency --offline
 
 echo "== ci.sh: all gates passed =="
