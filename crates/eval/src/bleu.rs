@@ -9,7 +9,7 @@
 //! * smoothing method 1 (add-epsilon on zero counts) so short candidates
 //!   do not collapse the geometric mean to zero.
 
-use std::collections::HashMap;
+use ratatouille_util::collections::{det_map, DetMap};
 
 /// Default maximum n-gram order.
 pub const DEFAULT_MAX_N: usize = 4;
@@ -123,7 +123,7 @@ fn clipped_matches(cand: &[&str], refs: &[Vec<&str>], n: usize) -> (usize, usize
     }
     let cand_counts = ngram_counts(cand, n);
     // max reference count per n-gram across references
-    let mut ref_max: HashMap<&[&str], usize> = HashMap::new();
+    let mut ref_max: DetMap<&[&str], usize> = det_map();
     for r in refs {
         if r.len() < n {
             continue;
@@ -142,8 +142,8 @@ fn clipped_matches(cand: &[&str], refs: &[Vec<&str>], n: usize) -> (usize, usize
 }
 
 /// Count n-grams (as token-slice keys) in a token sequence.
-fn ngram_counts<'a>(tokens: &'a [&'a str], n: usize) -> HashMap<&'a [&'a str], usize> {
-    let mut counts = HashMap::new();
+fn ngram_counts<'a>(tokens: &'a [&'a str], n: usize) -> DetMap<&'a [&'a str], usize> {
+    let mut counts = det_map();
     for w in tokens.windows(n) {
         *counts.entry(w).or_insert(0) += 1;
     }

@@ -4,7 +4,7 @@
 //! while being useless as a *novel* recipe generator; these metrics make
 //! that failure mode visible (used by the sampling-strategy ablation).
 
-use std::collections::HashSet;
+use ratatouille_util::collections::{det_set, DetSet};
 
 use crate::bleu::sentence_bleu;
 
@@ -13,7 +13,7 @@ use crate::bleu::sentence_bleu;
 /// into repetition.
 pub fn distinct_n<S: AsRef<str>>(texts: &[S], n: usize) -> f64 {
     assert!(n >= 1, "n must be >= 1");
-    let mut unique: HashSet<Vec<&str>> = HashSet::new();
+    let mut unique: DetSet<Vec<&str>> = det_set();
     let mut total = 0usize;
     for t in texts {
         let tokens: Vec<&str> = t.as_ref().split_whitespace().collect();

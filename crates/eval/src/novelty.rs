@@ -2,13 +2,13 @@
 //! regurgitation? The paper's goal is *novel* recipe generation, so our
 //! harness reports these alongside BLEU.
 
-use std::collections::HashSet;
+use ratatouille_util::collections::{det_set, DetSet};
 
 /// Fraction of the generation's n-grams that never appear in the training
 /// corpus. 0 = pure copy, 1 = entirely novel phrasing.
 pub fn novel_ngram_fraction<S: AsRef<str>>(generated: &str, corpus: &[S], n: usize) -> f64 {
     assert!(n >= 1);
-    let mut corpus_grams: HashSet<Vec<&str>> = HashSet::new();
+    let mut corpus_grams: DetSet<Vec<&str>> = det_set();
     for doc in corpus {
         let toks: Vec<&str> = doc.as_ref().split_whitespace().collect();
         for w in toks.windows(n) {

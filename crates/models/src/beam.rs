@@ -116,8 +116,9 @@ pub fn beam_search(model: &dyn LanguageModel, prompt: &[u32], cfg: &BeamConfig) 
 
 /// Log-softmax of a logit slice.
 fn log_softmax_vec(logits: &[f32]) -> Vec<f32> {
-    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let lse: f32 = logits.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+    use ratatouille_util::accum::{max_f32, sum_f32};
+    let max = max_f32(logits.iter().copied());
+    let lse = sum_f32(logits.iter().map(|&v| (v - max).exp())).ln() + max;
     logits.iter().map(|&v| v - lse).collect()
 }
 

@@ -97,7 +97,7 @@ pub fn select_token(logits: &Tensor, cfg: &SamplerConfig, rng: &mut StdRng) -> u
     // softmax over kept
     let max = scaled[kept[0]];
     let mut probs: Vec<f32> = kept.iter().map(|&i| (scaled[i] - max).exp()).collect();
-    let sum: f32 = probs.iter().sum();
+    let sum = ratatouille_util::accum::sum_f32(probs.iter().copied());
     for p in probs.iter_mut() {
         *p /= sum;
     }
@@ -115,7 +115,7 @@ pub fn select_token(logits: &Tensor, cfg: &SamplerConfig, rng: &mut StdRng) -> u
         }
         kept = &kept[..cut];
         probs.truncate(cut);
-        let s: f32 = probs.iter().sum();
+        let s = ratatouille_util::accum::sum_f32(probs.iter().copied());
         for p in probs.iter_mut() {
             *p /= s;
         }

@@ -85,7 +85,7 @@ impl TrainStats {
             return f32::NAN;
         }
         let tail = &self.losses[self.losses.len().saturating_sub(n)..];
-        tail.iter().sum::<f32>() / tail.len() as f32
+        ratatouille_util::accum::sum_f32(tail.iter().copied()) / tail.len() as f32
     }
 }
 
@@ -196,6 +196,7 @@ impl<'a> Trainer<'a> {
             total: self.config.steps as u64,
         };
         let mut losses = Vec::with_capacity(self.config.steps.saturating_sub(start_step));
+        // xlint: allow(forbidden-nondeterminism): wall clock feeds only the wall_secs/tokens_per_sec diagnostics, never losses or weights
         let started = std::time::Instant::now();
         let mut tokens = 0usize;
         for step in start_step..self.config.steps {

@@ -71,8 +71,8 @@ pub fn recipe_pairing_score(recipe: &Recipe) -> f64 {
 /// Ingredient co-occurrence count over a recipe set, strongest first —
 /// the statistic region conditioning is supposed to shape.
 pub fn co_occurrence(recipes: &[&Recipe], min_count: usize) -> Vec<((String, String), usize)> {
-    use std::collections::HashMap;
-    let mut counts: HashMap<(String, String), usize> = HashMap::new();
+    use ratatouille_util::collections::{det_map, DetMap};
+    let mut counts: DetMap<(String, String), usize> = det_map();
     for r in recipes {
         let mut names: Vec<&str> = r.ingredients.iter().map(|l| l.name.as_str()).collect();
         names.sort_unstable();

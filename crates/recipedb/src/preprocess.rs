@@ -19,7 +19,8 @@
 //! 8. **2σ filtering** — "approximately 2σ (95.46 percent) in recipe size
 //!    distribution".
 
-use std::collections::HashSet;
+use ratatouille_util::accum::sum_f32;
+use ratatouille_util::collections::{det_set, DetSet};
 
 use crate::corpus::RawRecord;
 use crate::ontology;
@@ -139,7 +140,7 @@ impl Preprocessor {
 
         // Stages 1–2: strip noise, parse.
         let mut parsed: Vec<ParsedRecipe> = Vec::with_capacity(records.len());
-        let mut texts_seen: HashSet<String> = HashSet::new();
+        let mut texts_seen: DetSet<String> = det_set();
         for rec in records {
             let mut text = rec.text.clone();
             let before = text.len();
@@ -249,15 +250,11 @@ fn mean_std(texts: &[String]) -> (f32, f32) {
         return (0.0, 0.0);
     }
     let n = texts.len() as f32;
-    let mean = texts.iter().map(|t| t.len() as f32).sum::<f32>() / n;
-    let var = texts
-        .iter()
-        .map(|t| {
-            let d = t.len() as f32 - mean;
-            d * d
-        })
-        .sum::<f32>()
-        / n;
+    let mean = sum_f32(texts.iter().map(|t| t.len() as f32)) / n;
+    let var = sum_f32(texts.iter().map(|t| {
+        let d = t.len() as f32 - mean;
+        d * d
+    })) / n;
     (mean, var.sqrt())
 }
 

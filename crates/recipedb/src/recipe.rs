@@ -122,7 +122,7 @@ impl Recipe {
     /// Aggregate FlavorDB-style flavor molecules across ingredients
     /// (deduplicated, in first-appearance order).
     pub fn flavor_profile(&self) -> Vec<&'static str> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = ratatouille_util::collections::det_set();
         let mut out = Vec::new();
         for line in &self.ingredients {
             if let Some(ing) = ontology::ingredient(&line.name) {

@@ -2,7 +2,8 @@
 //! 2σ/2000-character preprocessing decisions, plus ingredient frequency
 //! accounting.
 
-use std::collections::HashMap;
+use ratatouille_util::accum::sum_f32;
+use ratatouille_util::collections::{det_map, DetMap};
 
 use crate::recipe::Recipe;
 
@@ -89,14 +90,10 @@ pub fn length_stats<S: AsRef<str>>(texts: &[S]) -> LengthStats {
     let lens: Vec<usize> = texts.iter().map(|t| t.as_ref().len()).collect();
     let n = lens.len() as f32;
     let mean = lens.iter().sum::<usize>() as f32 / n;
-    let var = lens
-        .iter()
-        .map(|&l| {
-            let d = l as f32 - mean;
-            d * d
-        })
-        .sum::<f32>()
-        / n;
+    let var = sum_f32(lens.iter().map(|&l| {
+        let d = l as f32 - mean;
+        d * d
+    })) / n;
     let std = var.sqrt();
     let lo = mean - 2.0 * std;
     let hi = mean + 2.0 * std;
@@ -117,7 +114,7 @@ pub fn length_stats<S: AsRef<str>>(texts: &[S]) -> LengthStats {
 
 /// Ingredient usage counts over a recipe set, most frequent first.
 pub fn ingredient_frequencies(recipes: &[&Recipe]) -> Vec<(String, usize)> {
-    let mut counts: HashMap<&str, usize> = HashMap::new();
+    let mut counts: DetMap<&str, usize> = det_map();
     for r in recipes {
         for line in &r.ingredients {
             *counts.entry(line.name.as_str()).or_insert(0) += 1;
@@ -133,7 +130,7 @@ pub fn ingredient_frequencies(recipes: &[&Recipe]) -> Vec<(String, usize)> {
 
 /// Region usage counts over a recipe set.
 pub fn region_frequencies(recipes: &[&Recipe]) -> Vec<(String, usize)> {
-    let mut counts: HashMap<&str, usize> = HashMap::new();
+    let mut counts: DetMap<&str, usize> = det_map();
     for r in recipes {
         *counts.entry(r.region.as_str()).or_insert(0) += 1;
     }

@@ -128,7 +128,7 @@ impl ApiServer {
                     }
                 }
             },
-        ));
+        )?);
 
         let model_for_routes = model_name.clone();
         let pool_for_gen = Arc::clone(&pool);

@@ -274,8 +274,7 @@ impl HttpServer {
                 for w in workers {
                     let _ = w.join();
                 }
-            })
-            .expect("spawn acceptor");
+            })?;
         Ok(HttpServer {
             addr: local,
             shutdown,

@@ -154,7 +154,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, lit: &str) -> Result<(), JsonError> {
+    fn expect_lit(&mut self, lit: &str) -> Result<(), JsonError> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(())
@@ -167,15 +167,15 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         match self.peek() {
             Some(b'n') => {
-                self.expect("null")?;
+                self.expect_lit("null")?;
                 Ok(Json::Null)
             }
             Some(b't') => {
-                self.expect("true")?;
+                self.expect_lit("true")?;
                 Ok(Json::Bool(true))
             }
             Some(b'f') => {
-                self.expect("false")?;
+                self.expect_lit("false")?;
                 Ok(Json::Bool(false))
             }
             Some(b'"') => Ok(Json::String(self.string()?)),
@@ -311,7 +311,8 @@ impl<'a> Parser<'a> {
                 self.bump();
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Json::Number)
             .map_err(|_| self.err("invalid number"))

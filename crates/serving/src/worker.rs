@@ -51,7 +51,11 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
     /// Spawn `workers` threads. `factory(worker_index)` runs *inside*
     /// each thread to build its replica — a `FnMut(J) -> R` handler.
     /// `queue_cap` bounds the shared request queue.
-    pub fn new<F, W>(workers: usize, queue_cap: usize, factory: F) -> Self
+    ///
+    /// # Errors
+    /// Returns the OS error if a worker thread cannot be spawned (threads
+    /// spawned so far shut down cleanly when the pool is dropped).
+    pub fn new<F, W>(workers: usize, queue_cap: usize, factory: F) -> std::io::Result<Self>
     where
         F: Fn(usize) -> W + Send + Sync + Clone + 'static,
         W: FnMut(J) -> R + 'static,
@@ -92,15 +96,14 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
                                 }
                             }
                         }
-                    })
-                    .expect("spawn worker"),
+                    })?,
             );
         }
-        WorkerPool {
+        Ok(WorkerPool {
             tx: Some(tx),
             handles,
             workers,
-        }
+        })
     }
 
     /// Number of worker replicas.
@@ -155,7 +158,7 @@ mod tests {
 
     #[test]
     fn executes_jobs() {
-        let pool: WorkerPool<u32, u32> = WorkerPool::new(2, 8, |_| |x: u32| x * 2);
+        let pool: WorkerPool<u32, u32> = WorkerPool::new(2, 8, |_| |x: u32| x * 2).unwrap();
         assert_eq!(pool.execute(21), Ok(42));
         assert_eq!(pool.execute(5), Ok(10));
         pool.shutdown();
@@ -168,7 +171,8 @@ mod tests {
         let pool: WorkerPool<(), ()> = WorkerPool::new(3, 4, move |_| {
             b2.fetch_add(1, Ordering::SeqCst);
             |_: ()| {}
-        });
+        })
+        .unwrap();
         // give threads a moment to construct replicas
         for _ in 0..3 {
             pool.execute(()).unwrap();
@@ -180,9 +184,12 @@ mod tests {
     #[test]
     fn parallel_throughput() {
         // 4 workers with 20ms jobs: 8 jobs should take ~40ms, not ~160ms.
-        let pool: Arc<WorkerPool<(), ()>> = Arc::new(WorkerPool::new(4, 16, |_| {
-            |_: ()| std::thread::sleep(std::time::Duration::from_millis(20))
-        }));
+        let pool: Arc<WorkerPool<(), ()>> = Arc::new(
+            WorkerPool::new(4, 16, |_| {
+                |_: ()| std::thread::sleep(std::time::Duration::from_millis(20))
+            })
+            .unwrap(),
+        );
         let start = std::time::Instant::now();
         let handles: Vec<_> = (0..8)
             .map(|_| {
@@ -209,7 +216,8 @@ mod tests {
                 }
                 7
             }
-        });
+        })
+        .unwrap();
         match pool.execute(true) {
             Err(PoolError::WorkerPanicked(msg)) => assert!(msg.contains("kaboom")),
             other => panic!("expected panic error, got {other:?}"),
@@ -222,9 +230,12 @@ mod tests {
     #[test]
     fn queue_full_rejects() {
         // 1 worker busy for a while + tiny queue ⇒ new submissions bounce.
-        let pool: Arc<WorkerPool<(), ()>> = Arc::new(WorkerPool::new(1, 1, |_| {
-            |_: ()| std::thread::sleep(std::time::Duration::from_millis(150))
-        }));
+        let pool: Arc<WorkerPool<(), ()>> = Arc::new(
+            WorkerPool::new(1, 1, |_| {
+                |_: ()| std::thread::sleep(std::time::Duration::from_millis(150))
+            })
+            .unwrap(),
+        );
         let p1 = Arc::clone(&pool);
         let bg = std::thread::spawn(move || {
             let _ = p1.execute(()); // occupies the worker
@@ -243,7 +254,7 @@ mod tests {
 
     #[test]
     fn worker_index_passed_to_factory() {
-        let pool: WorkerPool<(), usize> = WorkerPool::new(2, 4, |wi| move |_: ()| wi);
+        let pool: WorkerPool<(), usize> = WorkerPool::new(2, 4, |wi| move |_: ()| wi).unwrap();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..50 {
             seen.insert(pool.execute(()).unwrap());

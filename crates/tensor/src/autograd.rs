@@ -179,7 +179,7 @@ impl Var {
     /// Nodes reachable from `self`, parents before children.
     fn topo_order(&self) -> Vec<Var> {
         let mut order = Vec::new();
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = ratatouille_util::collections::det_set();
         // Iterative DFS (graphs from long sequence models can be deep
         // enough to overflow the stack with recursion).
         enum Frame {

@@ -1,7 +1,13 @@
-//! Reduction kernels.
+//! Reduction kernels — plus the blessed scalar accumulation helpers.
+//!
+//! Everything that reduces floats in a result-affecting crate must either
+//! live in this directory or route through the re-exported
+//! `ratatouille_util::accum` helpers below (`xlint`: `float-reduction-order`).
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+pub use ratatouille_util::accum::{max_abs_f32, max_f32, mean_f32, sum_f32};
 
 /// Sum of all elements, as a rank-0 tensor.
 pub fn sum_all(t: &Tensor) -> Tensor {

@@ -36,7 +36,10 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
     #[cfg(target_arch = "x86_64")]
     if use_avx2_fma() {
-        // Safety: feature presence checked above.
+        // SAFETY: `use_avx2_fma()` returned true, so the one-time cpuid
+        // probe confirmed AVX2+FMA on this host — `dot_avx`'s
+        // `#[target_feature]` contract holds. Equal slice lengths were
+        // asserted above, which is the only bound `dot_avx` relies on.
         return unsafe { dot_avx(a, b) };
     }
     dot_portable(a, b)
@@ -61,6 +64,10 @@ fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
+// SAFETY: unsafe solely for `#[target_feature]` — callers must have
+// verified AVX2+FMA via `use_avx2_fma()` before calling. All loads use
+// `loadu` (no alignment requirement) and every `ap/bp.add(i)` stays in
+// bounds: `i + 16 <= n`, `i + 8 <= n` and `i < n` guard each loop.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn dot_avx(a: &[f32], b: &[f32]) -> f32 {
@@ -104,7 +111,9 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     #[cfg(target_arch = "x86_64")]
     if use_avx2_fma() {
-        // Safety: feature presence checked above.
+        // SAFETY: cpuid probe above confirmed AVX2+FMA, satisfying
+        // `axpy_avx`'s `#[target_feature]` contract; the length equality
+        // it indexes by was just asserted.
         unsafe { axpy_avx(alpha, x, y) };
         return;
     }
@@ -113,6 +122,10 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
+// SAFETY: unsafe solely for `#[target_feature]` — callers must have
+// verified AVX2+FMA via `use_avx2_fma()`. Unaligned loads/stores via
+// `loadu`/`storeu`; `xp/yp.add(j)` bounded by `j + 8 <= n` / `j < n`
+// with `x.len() == y.len() == n` asserted by the caller.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn axpy_avx(alpha: f32, x: &[f32], y: &mut [f32]) {

@@ -173,10 +173,14 @@ where
     }
     let senders = pool().workers(tasks - 1);
     let (done_tx, done_rx) = mpsc::channel::<TaskResult>();
-    // Erase the stack lifetime: the Latch below (drained on every exit
-    // path, including unwinds, via Drop) guarantees no worker touches `f`
-    // after this frame is gone.
     let f_ref: &(dyn Fn(usize) + Sync) = &f;
+    // SAFETY: lifetime erasure only — the pointee is this frame's `f`.
+    // The fabricated 'static never outlives it because every exit path
+    // from this function (normal return, local panic, worker panic)
+    // runs `latch.drain()` — directly or via `Latch::drop` — which
+    // blocks until each dispatched job has sent its TaskResult, i.e.
+    // until no worker can touch `f` again. `F: Sync` makes the shared
+    // `&f` sound across the pool threads.
     let f_static: &'static (dyn Fn(usize) + Sync) =
         unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(f_ref) };
     let mut latch = Latch {
@@ -239,9 +243,15 @@ struct RawPart {
     len: usize,
 }
 
-// Safety: each part points at a disjoint region of one output buffer and
-// is consumed by exactly one task.
+// SAFETY: a `RawPart` is only ever created by `parallel_rows_mut`, which
+// cuts one live `&mut [f32]` into non-overlapping `[ptr, ptr+len)`
+// regions; moving a part to a pool thread therefore moves exclusive
+// access to its region, never shares it.
 unsafe impl Send for RawPart {}
+// SAFETY: tasks receive `&RawPart` through the shared closure, but task
+// index `i` is dispatched exactly once, so each part's region is
+// reconstructed into a `&mut` slice by exactly one thread — the shared
+// reference is only used to read the (immutable) pointer and bounds.
 unsafe impl Sync for RawPart {}
 
 /// Fill disjoint row-chunks of `out`, where each chunk of `rows` rows of
@@ -269,7 +279,9 @@ where
         parts.push(RawPart {
             start_row: row,
             end_row: row + take,
-            // Safety: in-bounds offset of the `out` allocation.
+            // SAFETY: `row < rows` here and `out.len() == rows * row_len`
+            // was asserted above, so `row * row_len` is an in-bounds
+            // offset of the `out` allocation.
             ptr: unsafe { base.add(row * row_len) },
             len: take * row_len,
         });
@@ -277,7 +289,10 @@ where
     }
     run_tasks(parts.len(), |i| {
         let p = &parts[i];
-        // Safety: parts are disjoint and each task index runs exactly once.
+        // SAFETY: the parts tile `out` without overlap (consecutive
+        // `row * row_len` offsets), `run_tasks` invokes each index
+        // exactly once, and `out`'s `&mut` borrow is held across the
+        // join — so this is the sole live reference to the region.
         let chunk = unsafe { std::slice::from_raw_parts_mut(p.ptr, p.len) };
         f(p.start_row..p.end_row, chunk);
     });

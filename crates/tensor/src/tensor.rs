@@ -175,12 +175,12 @@ impl Tensor {
 
     /// Maximum absolute element (0.0 for empty tensors).
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+        ratatouille_util::accum::max_abs_f32(self.data.iter().copied())
     }
 
     /// Euclidean norm of the flattened tensor.
     pub fn l2_norm(&self) -> f32 {
-        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+        ratatouille_util::accum::sum_f32(self.data.iter().map(|&v| v * v)).sqrt()
     }
 
     /// Elementwise approximate equality within `tol`, shape-sensitive.

@@ -421,7 +421,7 @@ fn softmax_backward(dy: &Tensor, p: &Tensor) -> Tensor {
     for r in 0..rows {
         let prow = &pd[r * d..(r + 1) * d];
         let dyrow = &dyd[r * d..(r + 1) * d];
-        let dot: f32 = prow.iter().zip(dyrow).map(|(&a, &b)| a * b).sum();
+        let dot = ratatouille_util::accum::sum_f32(prow.iter().zip(dyrow).map(|(&a, &b)| a * b));
         for j in 0..d {
             dx[r * d + j] = prow[j] * (dyrow[j] - dot);
         }

@@ -6,7 +6,7 @@
 //! As in GPT-2, a word's leading space is kept attached to the word and
 //! merges never cross word boundaries.
 
-use std::collections::HashMap;
+use ratatouille_util::collections::{det_map, DetMap};
 
 use crate::char_level::all_atomic_tags;
 use crate::special;
@@ -21,11 +21,11 @@ use crate::Tokenizer;
 #[derive(Debug, Clone)]
 pub struct BpeTokenizer {
     specials: Vec<&'static str>,
-    special_ids: HashMap<String, u32>,
+    special_ids: DetMap<String, u32>,
     /// Byte string for each non-reserved id (`id - reserved`).
     token_bytes: Vec<Vec<u8>>,
     /// (left id, right id) → merged id.
-    merges: HashMap<(u32, u32), u32>,
+    merges: DetMap<(u32, u32), u32>,
 }
 
 impl BpeTokenizer {
@@ -40,7 +40,7 @@ impl BpeTokenizer {
     /// smaller pair, so identical corpora yield identical vocabularies.
     pub fn train<S: AsRef<str>>(corpus: &[S], num_merges: usize) -> Self {
         let specials = all_atomic_tags();
-        let special_ids: HashMap<String, u32> = specials
+        let special_ids: DetMap<String, u32> = specials
             .iter()
             .enumerate()
             .map(|(i, &s)| (s.to_string(), i as u32))
@@ -51,11 +51,11 @@ impl BpeTokenizer {
             specials,
             special_ids,
             token_bytes: (0..=255u8).map(|b| vec![b]).collect(),
-            merges: HashMap::new(),
+            merges: det_map(),
         };
 
         // Collect word frequencies (words carry their leading space).
-        let mut word_counts: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut word_counts: DetMap<Vec<u32>, usize> = det_map();
         for doc in corpus {
             for (seg, is_special) in special::split_on_specials(doc.as_ref(), &tok.specials) {
                 if is_special {
@@ -72,7 +72,7 @@ impl BpeTokenizer {
 
         for _ in 0..num_merges {
             // Count adjacent pairs across all words.
-            let mut pair_counts: HashMap<(u32, u32), usize> = HashMap::new();
+            let mut pair_counts: DetMap<(u32, u32), usize> = det_map();
             for (w, c) in &words {
                 for pair in w.windows(2) {
                     *pair_counts.entry((pair[0], pair[1])).or_insert(0) += c;
@@ -122,7 +122,7 @@ impl BpeTokenizer {
     /// as training assigned them.
     pub fn from_merges(ordered: &[(u32, u32)]) -> Self {
         let specials = all_atomic_tags();
-        let special_ids: HashMap<String, u32> = specials
+        let special_ids: DetMap<String, u32> = specials
             .iter()
             .enumerate()
             .map(|(i, &s)| (s.to_string(), i as u32))
@@ -132,7 +132,7 @@ impl BpeTokenizer {
             specials,
             special_ids,
             token_bytes: (0..=255u8).map(|b| vec![b]).collect(),
-            merges: HashMap::new(),
+            merges: det_map(),
         };
         for &(left, right) in ordered {
             let new_id = reserved + tok.token_bytes.len() as u32;

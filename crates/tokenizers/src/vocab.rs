@@ -1,6 +1,6 @@
 //! Bidirectional token ↔ id vocabulary with reserved special tokens.
 
-use std::collections::HashMap;
+use ratatouille_util::collections::{det_map, DetMap};
 
 use crate::special;
 
@@ -9,7 +9,7 @@ use crate::special;
 /// the fraction tokens, so special ids are identical across tokenizers.
 #[derive(Debug, Clone)]
 pub struct Vocab {
-    token_to_id: HashMap<String, u32>,
+    token_to_id: DetMap<String, u32>,
     id_to_token: Vec<String>,
 }
 
@@ -17,7 +17,7 @@ impl Vocab {
     /// A vocabulary pre-seeded with all special and fraction tokens.
     pub fn with_specials() -> Self {
         let mut v = Vocab {
-            token_to_id: HashMap::new(),
+            token_to_id: det_map(),
             id_to_token: Vec::new(),
         };
         for &tag in special::ALL_SPECIAL_TAGS {

@@ -1,6 +1,6 @@
 //! Word-level tokenizer with a frequency cutoff (the word-LSTM baseline).
 
-use std::collections::HashMap;
+use ratatouille_util::collections::{det_map, DetMap};
 
 use crate::char_level::all_atomic_tags;
 use crate::normalize;
@@ -23,7 +23,7 @@ impl WordTokenizer {
     /// least `min_freq` occurrences.
     pub fn train<S: AsRef<str>>(corpus: &[S], min_freq: usize) -> Self {
         let specials = all_atomic_tags();
-        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut counts: DetMap<String, usize> = det_map();
         for doc in corpus {
             for (seg, is_special) in special::split_on_specials(doc.as_ref(), &specials) {
                 if is_special {

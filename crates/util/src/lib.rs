@@ -17,6 +17,13 @@
 //! * [`bench`] — a tiny criterion replacement: warmup, N timed samples,
 //!   mean/p50/p99, human-readable table on stdout and JSON written to
 //!   `BENCH_<harness>.json` for machine consumption.
+//! * [`accum`] — the blessed sequential f32 reduction helpers every
+//!   result-affecting crate must use outside the tensor kernels
+//!   (enforced by `xlint`'s `float-reduction-order` rule).
+//! * [`collections`] — [`collections::DetMap`] / [`collections::DetSet`],
+//!   fixed-hasher `HashMap`/`HashSet` aliases with run-to-run stable
+//!   iteration order (enforced by `xlint`'s `forbidden-nondeterminism`
+//!   rule).
 //!
 //! ## Seed policy
 //!
@@ -27,6 +34,8 @@
 //! `RAT_PROPTEST_REPLAY=<seed>` to re-run a single reported failure.
 #![warn(missing_docs)]
 
+pub mod accum;
 pub mod bench;
+pub mod collections;
 pub mod proptest;
 pub mod rng;

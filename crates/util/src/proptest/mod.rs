@@ -298,6 +298,8 @@ macro_rules! __proptest_impl {
                     strategy,
                     |($($arg,)+)| {
                         $body
+                        // a property body ending in `panic!`/`assert!`
+                        // makes this Ok(()) unreachable by design
                         #[allow(unreachable_code)]
                         Ok(())
                     },

@@ -1,0 +1,491 @@
+//! The rule catalogue.
+//!
+//! Each rule is a [`Rule`] value in [`catalogue`]: an id, a scope
+//! predicate, a token-level check, and whether test code is exempt.
+//! Adding a rule is ~20 lines: write a `check_*` function against
+//! [`FileCtx`], pick a scope helper, and append an entry to `CATALOGUE`
+//! (DESIGN.md §7 walks through an example).
+
+use crate::lexer::{Tok, TokKind};
+use crate::{Diagnostic, FileCtx};
+
+/// Rule id shared with the engine, which lints suppression comments.
+pub const ALLOW_NEEDS_JUSTIFICATION: &str = "allow-needs-justification";
+
+/// One lint rule.
+pub struct Rule {
+    /// Stable id used in diagnostics and `xlint: allow(...)` comments.
+    pub id: &'static str,
+    /// One-line description (shown by `xlint --rules`).
+    pub summary: &'static str,
+    /// Skip findings on test-only lines (`#[cfg(test)]`, `tests/`, …).
+    pub skip_tests: bool,
+    /// Does this rule run on this file at all?
+    pub applies: fn(&FileCtx) -> bool,
+    /// Emit diagnostics for this file.
+    pub check: fn(&FileCtx, &mut Vec<Diagnostic>),
+}
+
+/// Crates whose outputs feed generations or metrics: nondeterminism and
+/// ad-hoc float reductions here silently break the §4b contract.
+/// `bench` and `serving` are deliberately absent (timing is their job).
+const RESULT_AFFECTING: &[&str] = &["tensor", "models", "tokenizers", "eval", "recipedb"];
+
+/// The blessed kernel directory: float reductions are *defined* here.
+const BLESSED_KERNELS: &str = "crates/tensor/src/ops/";
+
+fn everywhere(_ctx: &FileCtx) -> bool {
+    true
+}
+
+fn result_affecting(ctx: &FileCtx) -> bool {
+    ctx.crate_name
+        .as_deref()
+        .map(|c| RESULT_AFFECTING.contains(&c))
+        .unwrap_or(false)
+}
+
+fn result_affecting_outside_kernels(ctx: &FileCtx) -> bool {
+    result_affecting(ctx) && !ctx.path.starts_with(BLESSED_KERNELS)
+}
+
+fn serving_crate(ctx: &FileCtx) -> bool {
+    ctx.crate_name.as_deref() == Some("serving")
+}
+
+/// The full catalogue, in diagnostic-id order.
+pub fn catalogue() -> &'static [Rule] {
+    &CATALOGUE
+}
+
+static CATALOGUE: [Rule; 5] = [
+    Rule {
+        id: "unsafe-needs-safety-comment",
+        summary: "every `unsafe` block/fn/impl must be immediately preceded by a `// SAFETY:` \
+                  comment stating the invariant",
+        skip_tests: false,
+        applies: everywhere,
+        check: check_unsafe_safety_comment,
+    },
+    Rule {
+        id: "forbidden-nondeterminism",
+        summary: "wall clocks, default-hasher maps and env-dependent branching are banned in \
+                  result-affecting crates (tensor, models, tokenizers, eval, recipedb)",
+        skip_tests: true,
+        applies: result_affecting,
+        check: check_forbidden_nondeterminism,
+    },
+    Rule {
+        id: "no-panic-in-request-path",
+        summary: "unwrap()/expect()/panic! are banned in `crates/serving` — map failures to \
+                  4xx/5xx responses",
+        skip_tests: true,
+        applies: serving_crate,
+        check: check_no_panic,
+    },
+    Rule {
+        id: "float-reduction-order",
+        summary: "ad-hoc f32 sum()/fold() outside tensor/src/ops — use the deterministic \
+                  accumulation helpers so reduction order stays pinned",
+        skip_tests: true,
+        applies: result_affecting_outside_kernels,
+        check: check_float_reduction,
+    },
+    Rule {
+        id: ALLOW_NEEDS_JUSTIFICATION,
+        summary: "#[allow(...)] attributes and `xlint: allow(...)` suppressions must carry a \
+                  justification",
+        skip_tests: false,
+        applies: everywhere,
+        check: check_allow_justified,
+    },
+];
+
+/// Non-comment tokens, in order.
+fn code<'c>(ctx: &'c FileCtx) -> Vec<&'c Tok> {
+    ctx.toks.iter().filter(|t| !t.is_comment()).collect()
+}
+
+fn diag(ctx: &FileCtx, line: u32, rule: &'static str, msg: String) -> Diagnostic {
+    Diagnostic {
+        path: ctx.path.clone(),
+        line,
+        rule,
+        msg,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-needs-safety-comment
+// ---------------------------------------------------------------------------
+
+/// How far above an `unsafe` token the `// SAFETY:` comment may sit
+/// (attributes, visibility and multi-line comment bodies intervene).
+const SAFETY_SCAN_LINES: u32 = 8;
+
+fn has_safety_comment(ctx: &FileCtx, line: u32) -> bool {
+    let is_safety = |c: &str| c.trim_start().starts_with("SAFETY:");
+    if ctx.comments_on(line).any(|c| is_safety(c)) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    for _ in 0..SAFETY_SCAN_LINES {
+        if l == 0 {
+            break;
+        }
+        if ctx.comments_on(l).any(|c| is_safety(c)) {
+            return true;
+        }
+        let li = l as usize;
+        if li < ctx.has_code.len() && ctx.has_code[li] {
+            // A completed statement/item above ends the search; a
+            // continuation head (e.g. `let x =`) lets it keep climbing.
+            if matches!(ctx.last_code_punct[li], Some(';') | Some('{') | Some('}')) {
+                break;
+            }
+        }
+        l -= 1;
+    }
+    false
+}
+
+fn check_unsafe_safety_comment(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for t in code(ctx) {
+        if t.ident() == Some("unsafe") && !has_safety_comment(ctx, t.line) {
+            out.push(diag(
+                ctx,
+                t.line,
+                "unsafe-needs-safety-comment",
+                "`unsafe` without an immediately preceding `// SAFETY:` comment stating the \
+                 invariant (pointer validity/lifetime, cpuid gate, latch ordering, …)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// forbidden-nondeterminism
+// ---------------------------------------------------------------------------
+
+/// `toks[i..]` matches the identifier/punct sequence `pat`, where idents
+/// are matched by name and `":"`-style entries by punctuation.
+fn seq_matches(toks: &[&Tok], i: usize, pat: &[&str]) -> bool {
+    if i + pat.len() > toks.len() {
+        return false;
+    }
+    pat.iter().enumerate().all(|(k, p)| {
+        let t = toks[i + k];
+        if p.len() == 1 && !p.chars().next().unwrap().is_ascii_alphanumeric() {
+            t.is_punct(p.chars().next().unwrap())
+        } else {
+            t.ident() == Some(*p)
+        }
+    })
+}
+
+fn check_forbidden_nondeterminism(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = code(ctx);
+    let push = |out: &mut Vec<Diagnostic>, line: u32, what: &str, fix: &str| {
+        out.push(diag(
+            ctx,
+            line,
+            "forbidden-nondeterminism",
+            format!("{what} is banned in result-affecting crates; {fix}"),
+        ));
+    };
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if toks[i].ident() == Some("SystemTime") {
+            push(out, line, "`SystemTime` (wall clock)", "move timing to `bench`/`serving` or thread it through the caller");
+        } else if seq_matches(&toks, i, &["Instant", ":", ":", "now"]) {
+            push(out, line, "`Instant::now` (wall clock)", "timing belongs in `bench`/`serving`; if it only feeds a log line, suppress with a justification");
+        } else if seq_matches(&toks, i, &["env", ":", ":", "var"])
+            || seq_matches(&toks, i, &["env", ":", ":", "vars"])
+            || seq_matches(&toks, i, &["env", ":", ":", "var_os"])
+            || seq_matches(&toks, i, &["env", "!"])
+            || seq_matches(&toks, i, &["option_env", "!"])
+        {
+            push(out, line, "environment-dependent branching", "plumb configuration through typed options instead");
+        } else if matches!(toks[i].ident(), Some("HashMap") | Some("HashSet")) {
+            push(out, line, "`HashMap`/`HashSet` with the default (randomly seeded) hasher", "use `ratatouille_util::collections::{DetMap, DetSet}` for deterministic iteration order");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-panic-in-request-path
+// ---------------------------------------------------------------------------
+
+fn check_no_panic(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = code(ctx);
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if toks[i].is_punct('.')
+            && matches!(
+                toks.get(i + 1).and_then(|t| t.ident()),
+                Some("unwrap") | Some("expect")
+            )
+            && toks.get(i + 2).map_or(false, |t| t.is_punct('('))
+        {
+            let m = toks[i + 1].ident().unwrap_or("");
+            out.push(diag(
+                ctx,
+                line,
+                "no-panic-in-request-path",
+                format!("`.{m}()` can take down a serving worker; map the failure to an error response (4xx/5xx) or propagate a `Result`"),
+            ));
+        } else if matches!(
+            toks[i].ident(),
+            Some("panic") | Some("unreachable") | Some("todo") | Some("unimplemented")
+        ) && toks.get(i + 1).map_or(false, |t| t.is_punct('!'))
+        {
+            let m = toks[i].ident().unwrap_or("");
+            out.push(diag(
+                ctx,
+                line,
+                "no-panic-in-request-path",
+                format!("`{m}!` in the serving path; return an error response instead"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// float-reduction-order
+// ---------------------------------------------------------------------------
+
+fn check_float_reduction(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = code(ctx);
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.')
+            || !matches!(
+                toks.get(i + 1).and_then(|t| t.ident()),
+                Some("sum") | Some("fold")
+            )
+        {
+            continue;
+        }
+        let name = toks[i + 1].ident().unwrap_or("");
+        let line = toks[i + 1].line;
+        // `.sum::<T>()` — the turbofish names the accumulator type.
+        let mut j = i + 2;
+        let mut turbofish_f32 = None;
+        if seq_matches(&toks, j, &[":", ":", "<"]) {
+            j += 3;
+            let mut depth = 1usize;
+            let mut saw_f32 = false;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') {
+                    depth -= 1;
+                } else if toks[j].ident() == Some("f32") {
+                    saw_f32 = true;
+                }
+                j += 1;
+            }
+            turbofish_f32 = Some(saw_f32);
+        }
+        let is_f32 = match turbofish_f32 {
+            Some(explicit) => explicit,
+            None => statement_mentions_f32(&toks, i),
+        };
+        if is_f32 {
+            out.push(diag(
+                ctx,
+                line,
+                "float-reduction-order",
+                format!(
+                    "ad-hoc f32 `{name}` reduction outside the blessed kernels; use \
+                     `ratatouille_util::accum::{{sum_f32, max_f32, max_abs_f32}}` \
+                     (re-exported at `ratatouille_tensor::ops::reduce`) so the \
+                     accumulation order stays pinned"
+                ),
+            ));
+        }
+    }
+}
+
+/// Does the statement around token `i` mention `f32` or a float literal?
+/// The statement span is bounded by `;`/`{`/`}` on both sides — close
+/// enough for a lexical rule, and wrong only inside nested closures.
+fn statement_mentions_f32(toks: &[&Tok], i: usize) -> bool {
+    let boundary = |t: &Tok| t.is_punct(';') || t.is_punct('{') || t.is_punct('}');
+    let start = (0..i).rev().find(|&k| boundary(toks[k])).map_or(0, |k| k + 1);
+    let end = (i..toks.len())
+        .find(|&k| boundary(toks[k]))
+        .unwrap_or(toks.len());
+    toks[start..end].iter().any(|t| {
+        t.ident() == Some("f32") || matches!(t.kind, TokKind::Num { float: true })
+    })
+}
+
+// ---------------------------------------------------------------------------
+// allow-needs-justification (attribute half; suppression comments are
+// linted by the engine, which owns the used/unused bookkeeping)
+// ---------------------------------------------------------------------------
+
+fn check_allow_justified(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = code(ctx);
+    for i in 0..toks.len() {
+        let hit = seq_matches(&toks, i, &["#", "[", "allow"])
+            || seq_matches(&toks, i, &["#", "!", "[", "allow"]);
+        if !hit {
+            continue;
+        }
+        let line = toks[i].line;
+        let justified = ctx.comments_on(line).any(|c| !c.is_empty())
+            || (line > 1 && ctx.is_comment_only_line(line - 1));
+        if !justified {
+            out.push(diag(
+                ctx,
+                line,
+                ALLOW_NEEDS_JUSTIFICATION,
+                "`#[allow(...)]` without a justification; add a comment on the same or the \
+                 previous line saying why the lint is wrong here"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        lint_source(path, src)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn unsafe_without_safety_flagged() {
+        let hits = rules_hit(
+            "crates/tensor/src/x.rs",
+            "fn f() {\n    let p = 0 as *const f32;\n    let _ = unsafe { *p };\n}\n",
+        );
+        assert_eq!(hits, vec![("unsafe-needs-safety-comment", 3)]);
+    }
+
+    #[test]
+    fn unsafe_with_safety_clean() {
+        let src = "fn f(p: *const f32) -> f32 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        assert!(rules_hit("crates/tensor/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_climbs_past_attributes_and_continuations() {
+        let src = "// SAFETY: feature gate checked by caller\n#[target_feature(enable = \"avx2\")]\nunsafe fn g() {}\n\nfn h() {\n    // SAFETY: latch outlives the borrow\n    let x: usize =\n        unsafe { core::mem::transmute(1usize) };\n    let _ = x;\n}\n";
+        assert!(rules_hit("crates/tensor/src/x.rs", src).is_empty(), "{:?}", rules_hit("crates/tensor/src/x.rs", src));
+    }
+
+    #[test]
+    fn consecutive_unsafe_impls_need_their_own_comments() {
+        let src = "struct P;\n// SAFETY: single owner\nunsafe impl Send for P {}\nunsafe impl Sync for P {}\n";
+        assert_eq!(
+            rules_hit("crates/tensor/src/x.rs", src),
+            vec![("unsafe-needs-safety-comment", 4)]
+        );
+    }
+
+    #[test]
+    fn nondeterminism_scoped_to_result_affecting_crates() {
+        let src = "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+        assert_eq!(rules_hit("crates/eval/src/x.rs", src).len(), 3);
+        assert!(rules_hit("crates/serving/src/x.rs", src).is_empty());
+        assert!(rules_hit("crates/bench/src/x.rs", src).is_empty());
+        assert!(rules_hit("src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_now_flagged_but_import_alone_is_not() {
+        assert!(rules_hit("crates/models/src/x.rs", "use std::time::Instant;\n").is_empty());
+        let hits = rules_hit(
+            "crates/models/src/x.rs",
+            "fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+        );
+        assert_eq!(hits, vec![("forbidden-nondeterminism", 1)]);
+    }
+
+    #[test]
+    fn env_branching_flagged() {
+        let hits = rules_hit(
+            "crates/tokenizers/src/x.rs",
+            "fn f() -> bool { std::env::var(\"X\").is_ok() }\n",
+        );
+        assert_eq!(hits, vec![("forbidden-nondeterminism", 1)]);
+    }
+
+    #[test]
+    fn test_code_exempt_from_nondeterminism() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::env::var(\"TMPDIR\");\n    }\n}\n";
+        assert!(rules_hit("crates/recipedb/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serving_panics_flagged() {
+        let src = "fn handle() {\n    let v: Option<u32> = None;\n    let _ = v.unwrap();\n    let _ = v.expect(\"x\");\n    panic!(\"boom\");\n}\n";
+        let hits = rules_hit("crates/serving/src/x.rs", src);
+        assert_eq!(
+            hits,
+            vec![
+                ("no-panic-in-request-path", 3),
+                ("no-panic-in-request-path", 4),
+                ("no-panic-in-request-path", 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_default_not_flagged() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap_or_default() }\n";
+        assert!(rules_hit("crates/serving/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_flagged_outside_kernels_only() {
+        let src = "fn f(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }\n";
+        assert_eq!(
+            rules_hit("crates/models/src/x.rs", src),
+            vec![("float-reduction-order", 1)]
+        );
+        assert!(rules_hit("crates/tensor/src/ops/reduce.rs", src).is_empty());
+    }
+
+    #[test]
+    fn usize_sum_not_flagged() {
+        let src = "fn f(xs: &[usize]) -> f32 { xs.iter().sum::<usize>() as f32 }\n";
+        assert!(rules_hit("crates/recipedb/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_fold_flagged_via_literal() {
+        let src = "fn f(xs: &[f32]) -> f32 { xs.iter().fold(0.0f32, |m, &v| m.max(v)) }\n";
+        assert_eq!(
+            rules_hit("crates/tensor/src/x.rs", src),
+            vec![("float-reduction-order", 1)]
+        );
+    }
+
+    #[test]
+    fn integer_sum_without_float_context_clean() {
+        let src = "fn f(xs: &[usize]) -> usize { xs.iter().sum() }\n";
+        assert!(rules_hit("crates/models/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_attr_needs_comment() {
+        let src = "#[allow(dead_code)]\nfn f() {}\n";
+        assert_eq!(
+            rules_hit("src/lib.rs", src),
+            vec![("allow-needs-justification", 1)]
+        );
+        let ok = "// the harness keeps this symbol for downstream tests\n#[allow(dead_code)]\nfn f() {}\n";
+        assert!(rules_hit("src/lib.rs", ok).is_empty());
+        let trailing = "#[allow(dead_code)] // kept for the ffi surface\nfn f() {}\n";
+        assert!(rules_hit("src/lib.rs", trailing).is_empty());
+    }
+}

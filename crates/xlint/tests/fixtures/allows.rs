@@ -1,0 +1,20 @@
+//! Seeded `allow-needs-justification` violations: lines 3, 10, 13, 16, 19.
+
+#[allow(dead_code)]
+fn unjustified() {}
+
+// kept for the public api surface
+#[allow(dead_code)]
+fn justified() {}
+
+// xlint: allow(no-such-rule): bogus
+fn unknown_rule() {}
+
+// xlint: allow(float-reduction-order)
+fn missing_reason() {}
+
+// xlint: allow(float-reduction-order): nothing here actually sums floats
+fn stale() {}
+
+// xlint: not-an-allow
+fn malformed() {}

@@ -1,0 +1,19 @@
+//! Lexer torture with zero violations: everything suspicious here is
+//! inside strings or comments, or is not what it looks like.
+
+/* block /* nested /* deeply */ */ with `HashMap::new()` inside */
+const A: &str = "std::env::var(\"HOME\") and .unwrap() in a string";
+const B: &str = r##"raw string: SystemTime::now() and "#quotes"# too"##;
+const C: char = 'a';
+const BYTES: &[u8] = b"panic!(\"no\")";
+
+struct Holder<'a> {
+    slice: &'a [f32],
+}
+
+impl<'a> Holder<'a> {
+    fn head(&self) -> f32 {
+        let r#fn = self.slice.first().copied();
+        r#fn.unwrap_or(0.0)
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded `float-reduction-order` violations (lines 4, 8) and lookalikes
+//! that must stay clean (usize/f64 turbofish, integer ranges).
+fn bad_sum(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>()
+}
+
+fn bad_fold(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &v| m.max(v))
+}
+
+fn fine_usize(xs: &[usize]) -> f32 {
+    xs.iter().sum::<usize>() as f32
+}
+
+fn fine_f64(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+fn range_not_float() -> usize {
+    (0..10).sum::<usize>()
+}

@@ -1,0 +1,25 @@
+//! Seeded `forbidden-nondeterminism` violations: lines 2, 4, 5, 9, 15.
+use std::collections::HashMap;
+
+fn counts() -> HashMap<String, usize> {
+    HashMap::new()
+}
+
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}
+
+fn tuned() -> bool {
+    std::env::var("FAST_MATH").is_ok()
+}
+
+// xlint: allow(forbidden-nondeterminism): wall clock feeds a log line only
+fn logged() { let _ = std::time::Instant::now(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() { let _ = std::env::var("TMPDIR"); }
+}

@@ -1,0 +1,19 @@
+//! Seeded `no-panic-in-request-path` violations: lines 3, 4, 6.
+fn handle(body: Option<&str>) -> usize {
+    let v = body.unwrap();
+    let n = v.parse::<usize>().expect("bad request");
+    if n == 0 {
+        panic!("zero");
+    }
+    n
+}
+
+fn graceful(v: Option<u32>) -> u32 {
+    v.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() { assert_eq!(super::graceful(None), 0); }
+}

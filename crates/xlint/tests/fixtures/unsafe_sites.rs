@@ -1,0 +1,18 @@
+//! Seeded `unsafe-needs-safety-comment` violations plus lexer torture:
+//! the only real `unsafe` tokens are on lines 11, 17 and 18.
+
+/* outer /* nested `unsafe` comment */ still one comment */
+const S: &str = "unsafe { not_code() }";
+const R: &str = r#"raw "unsafe" string with a # inside"#;
+
+fn deref(p: *const f32) -> f32 {
+    let c: char = 'u';
+    let _ = c;
+    unsafe { *p }
+}
+
+struct Ptr<'a>(&'a f32);
+
+// SAFETY: single exclusive owner of the region
+unsafe impl<'a> Send for Ptr<'a> {}
+unsafe impl<'a> Sync for Ptr<'a> {}

@@ -1,0 +1,131 @@
+//! End-to-end fixture tests: each seeded fixture must produce exactly the
+//! expected `(rule, line)` diagnostics, and the clean fixture none at all.
+//!
+//! Fixtures live under `tests/fixtures/` (excluded from `run_workspace`)
+//! and are linted via `lint_source` under a virtual path chosen to put
+//! them in the crate each rule targets.
+
+fn diags(virtual_path: &str, src: &str) -> Vec<(&'static str, u32)> {
+    xlint::lint_source(virtual_path, src)
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn unsafe_fixture_flags_uncommented_sites_only() {
+    let src = include_str!("fixtures/unsafe_sites.rs");
+    assert_eq!(
+        diags("crates/tensor/src/fixture.rs", src),
+        vec![
+            ("unsafe-needs-safety-comment", 11),
+            ("unsafe-needs-safety-comment", 18),
+        ],
+        "line 17 is covered by the SAFETY comment on 16; 11 and 18 are bare"
+    );
+}
+
+#[test]
+fn nondet_fixture_flags_clock_env_and_hashmap() {
+    let src = include_str!("fixtures/nondet.rs");
+    assert_eq!(
+        diags("crates/recipedb/src/fixture.rs", src),
+        vec![
+            ("forbidden-nondeterminism", 2),
+            ("forbidden-nondeterminism", 4),
+            ("forbidden-nondeterminism", 5),
+            ("forbidden-nondeterminism", 9),
+            ("forbidden-nondeterminism", 15),
+        ],
+        "line 19 is suppressed with a reason; the cfg(test) mod is exempt"
+    );
+}
+
+#[test]
+fn nondet_fixture_is_clean_in_an_allowlisted_crate() {
+    let src = include_str!("fixtures/nondet.rs");
+    assert_eq!(
+        diags("crates/bench/src/fixture.rs", src),
+        vec![("allow-needs-justification", 18)],
+        "bench is allowlisted for nondeterminism, so the rule stays quiet \
+         and the now-unused suppression is reported as stale"
+    );
+}
+
+#[test]
+fn panics_fixture_flags_unwrap_expect_and_panic() {
+    let src = include_str!("fixtures/panics.rs");
+    assert_eq!(
+        diags("crates/serving/src/fixture.rs", src),
+        vec![
+            ("no-panic-in-request-path", 3),
+            ("no-panic-in-request-path", 4),
+            ("no-panic-in-request-path", 6),
+        ],
+        "unwrap_or_default and the cfg(test) mod must not be flagged"
+    );
+}
+
+#[test]
+fn panics_fixture_ignored_outside_serving() {
+    let src = include_str!("fixtures/panics.rs");
+    assert_eq!(
+        diags("crates/tokenizers/src/fixture.rs", src),
+        vec![],
+        "no-panic-in-request-path only applies to crates/serving"
+    );
+}
+
+#[test]
+fn float_fixture_flags_f32_reductions_only() {
+    let src = include_str!("fixtures/float_sums.rs");
+    assert_eq!(
+        diags("crates/models/src/fixture.rs", src),
+        vec![
+            ("float-reduction-order", 4),
+            ("float-reduction-order", 8),
+        ],
+        "usize/f64 turbofish sums and integer ranges must not be flagged"
+    );
+}
+
+#[test]
+fn allows_fixture_flags_every_bad_suppression() {
+    let src = include_str!("fixtures/allows.rs");
+    assert_eq!(
+        diags("src/fixture.rs", src),
+        vec![
+            ("allow-needs-justification", 3),
+            ("allow-needs-justification", 10),
+            ("allow-needs-justification", 13),
+            ("allow-needs-justification", 16),
+            ("allow-needs-justification", 19),
+        ],
+        "the justified #[allow] on line 7 must pass"
+    );
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics() {
+    let src = include_str!("fixtures/clean.rs");
+    let got = xlint::lint_source("crates/tokenizers/src/fixture.rs", src);
+    assert!(
+        got.is_empty(),
+        "lexer-torture fixture must be clean, got:\n{}",
+        got.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn diagnostic_display_is_path_line_rule_msg() {
+    let src = include_str!("fixtures/panics.rs");
+    let got = xlint::lint_source("crates/serving/src/fixture.rs", src);
+    let first = got.first().expect("fixture has diagnostics").to_string();
+    assert!(
+        first.starts_with("crates/serving/src/fixture.rs:3: [no-panic-in-request-path] "),
+        "diagnostic format changed: {first}"
+    );
+}

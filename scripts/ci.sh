@@ -14,6 +14,9 @@ cd "$(dirname "$0")/.."
 export RUSTFLAGS="-Dwarnings"
 export CARGO_NET_OFFLINE="true"
 
+echo "== xlint (workspace static analysis) =="
+cargo run -q -p xlint --offline
+
 echo "== build (release, warnings are errors) =="
 cargo build --workspace --release --offline
 

@@ -1,0 +1,27 @@
+//! Workspace lint gate: `cargo test` fails if any crate violates the
+//! unsafe-soundness / determinism contract enforced by `crates/xlint`.
+//!
+//! This is the same check `cargo run -p xlint` and `scripts/ci.sh` run;
+//! wiring it into the test suite means tier-1 verification cannot pass
+//! on a tree with unjustified violations.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = xlint::find_workspace_root(manifest_dir)
+        .expect("workspace root with [workspace] Cargo.toml above CARGO_MANIFEST_DIR");
+    let diags = xlint::run_workspace(&root);
+    assert!(
+        diags.is_empty(),
+        "xlint found {} violation(s); fix them or add a justified \
+         `// xlint: allow(rule): reason` (see DESIGN.md §7):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
