@@ -1,0 +1,92 @@
+//! **Observability smoke check** — boots the full serving stack, drives
+//! every instrumented layer (pooled tensor kernels, training, decode,
+//! HTTP), scrapes `GET /metrics`, and fails loudly if any required metric
+//! family is missing from the Prometheus exposition.
+//!
+//! Run by `scripts/ci.sh`; also useful standalone:
+//!
+//! ```text
+//! cargo run --release -p ratatouille-bench --bin metrics_smoke
+//! ```
+
+use ratatouille::models::registry::ModelKind;
+use ratatouille::models::train::TrainConfig;
+use ratatouille::serving::api::ApiServer;
+use ratatouille::serving::client::HttpClient;
+use ratatouille::{Pipeline, PipelineConfig};
+use ratatouille_tensor::{ops, par, Tensor};
+
+/// Metric families the ISSUE acceptance criteria require on `/metrics`.
+const REQUIRED: &[&str] = &[
+    "http_requests_total",
+    "http_request_ns",
+    "decode_token_ns",
+    "serving_queue_wait_ns",
+    "tensor_pool_queue_wait_ns",
+    "tensor_matmul_gflops",
+    "train_tokens_per_sec",
+    "generate_latency_ns",
+];
+
+fn main() {
+    // 1. Force a pooled matmul so the tensor worker-pool histograms have
+    //    samples even on small serving models (which decode inline).
+    par::set_num_threads(2);
+    let n = 128;
+    let a = Tensor::from_vec(vec![0.5f32; n * n], &[n, n]).expect("square tensor");
+    let c = ops::matmul(&a, &a);
+    assert_eq!(c.dims(), &[n, n]);
+    par::set_num_threads(0);
+
+    // 2. Train a tiny model (populates train_* metrics) and serve it.
+    eprintln!("[metrics_smoke] training a tiny serving model…");
+    let mut cfg = PipelineConfig::small();
+    cfg.corpus.num_recipes = 80;
+    let pipeline = Pipeline::prepare(cfg);
+    let trained = pipeline.train(
+        ModelKind::WordLstm,
+        Some(TrainConfig {
+            steps: 3,
+            batch_size: 2,
+            ..Default::default()
+        }),
+    );
+
+    let server =
+        ApiServer::start("127.0.0.1:0", 2, 8, trained.backend_factory()).expect("server boot");
+    let client = HttpClient::new(server.addr());
+
+    // 3. Drive the request path: liveness, one generation (populates the
+    //    decode + serving-queue histograms), then scrape.
+    let (status, body) = client.get("/healthz").expect("healthz");
+    assert_eq!(status, 200, "healthz: {body}");
+    assert_eq!(body, "ok", "healthz body");
+
+    let (status, body) = client
+        .post_json("/api/generate", r#"{"ingredients":["flour","water"]}"#)
+        .expect("generate");
+    assert_eq!(status, 200, "generate: {body}");
+
+    let (status, metrics) = client.get("/metrics").expect("metrics scrape");
+    assert_eq!(status, 200, "metrics status");
+
+    let missing: Vec<&str> = REQUIRED
+        .iter()
+        .copied()
+        .filter(|name| !metrics.contains(name))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("---- /metrics exposition ----\n{metrics}\n----");
+        eprintln!("[metrics_smoke] FAIL — missing metric families: {missing:?}");
+        std::process::exit(1);
+    }
+
+    // Histogram exposition shape: cumulative buckets + sum + count.
+    for probe in ["http_request_ns_bucket{le=", "http_request_ns_sum", "http_request_ns_count"] {
+        assert!(metrics.contains(probe), "exposition missing `{probe}`");
+    }
+
+    let families = metrics.matches("# TYPE ").count();
+    println!("[metrics_smoke] OK — {families} metric families exposed, all required present");
+    server.stop();
+}

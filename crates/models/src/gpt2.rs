@@ -202,6 +202,7 @@ struct Gpt2Stream<'m> {
 
 impl TokenStream for Gpt2Stream<'_> {
     fn push(&mut self, token: u32) -> Tensor {
+        let push_start = obs::Clock::now();
         let m = self.model;
         let d = m.config.d_model;
         assert!(
@@ -225,7 +226,9 @@ impl TokenStream for Gpt2Stream<'_> {
             &m.lnf_b.value(),
             1e-5,
         );
-        ops::matmul_transb(&ln, &m.wte.value()).reshape(&[m.config.vocab])
+        let out = ops::matmul_transb(&ln, &m.wte.value()).reshape(&[m.config.vocab]);
+        obs::static_histogram!("gpt2_push_ns").observe(push_start.elapsed_ns());
+        out
     }
 
     fn position(&self) -> usize {

@@ -1,5 +1,10 @@
 //! Decoding strategies: greedy, temperature, top-k and top-p (nucleus)
 //! sampling over an incremental [`TokenStream`].
+//!
+//! [`generate`] is instrumented with `obs`: a `decode` span wrapping each
+//! call (with per-token `decode.token` child spans), a prefill-latency
+//! histogram, and the per-token latency histogram/counter the serving
+//! layer's `/metrics` endpoint exposes.
 
 use ratatouille_util::rng::StdRng;
 use ratatouille_util::rng::RngExt;
@@ -59,20 +64,29 @@ pub fn generate(
     rng: &mut StdRng,
 ) -> Vec<u32> {
     assert!(!prompt.is_empty(), "generate requires a non-empty prompt");
+    let _span = obs::span!("decode");
     let mut stream = model.start_stream();
     let mut logits: Option<Tensor> = None;
+    let prefill_start = obs::Clock::now();
     for &t in prompt {
         logits = Some(stream.push(t));
     }
+    obs::static_histogram!("decode_prefill_ns").observe(prefill_start.elapsed_ns());
     let mut out = Vec::with_capacity(cfg.max_tokens);
     for _ in 0..cfg.max_tokens {
+        let token_span = obs::span!("decode.token");
+        let token_start = obs::Clock::now();
         let l = logits.take().expect("logits available after prompt");
         let next = select_token(&l, cfg, rng);
         if Some(next) == cfg.stop_token {
+            drop(token_span);
             break;
         }
         out.push(next);
         logits = Some(stream.push(next));
+        obs::static_histogram!("decode_token_ns").observe(token_start.elapsed_ns());
+        obs::static_counter!("decode_tokens_total").inc();
+        drop(token_span);
     }
     out
 }

@@ -196,10 +196,11 @@ impl<'a> Trainer<'a> {
             total: self.config.steps as u64,
         };
         let mut losses = Vec::with_capacity(self.config.steps.saturating_sub(start_step));
-        // xlint: allow(forbidden-nondeterminism): wall clock feeds only the wall_secs/tokens_per_sec diagnostics, never losses or weights
-        let started = std::time::Instant::now();
+        let started = obs::Clock::now();
         let mut tokens = 0usize;
         for step in start_step..self.config.steps {
+            let _span = obs::span!("train.step");
+            let step_start = obs::Clock::now();
             // Deterministic per-step RNGs: resume at step k reproduces the
             // exact batch and dropout stream the uninterrupted run saw.
             let mut data_rng = StdRng::seed_from_u64(seed ^ (step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -233,6 +234,10 @@ impl<'a> Trainer<'a> {
             opt.set_lr(schedule.lr_at(step as u64));
             opt.step(&params);
 
+            obs::static_histogram!("train_step_ns").observe(step_start.elapsed_ns());
+            obs::static_counter!("train_steps_total").inc();
+            obs::static_gauge!("train_loss").set(loss_val as f64);
+
             if self.config.log_every > 0 && step % self.config.log_every == 0 {
                 eprintln!(
                     "[{}] step {step}/{} loss {loss_val:.4} lr {:.2e}",
@@ -255,10 +260,13 @@ impl<'a> Trainer<'a> {
             let map = Checkpoint::capture(self.model, &opt, self.config.steps as u64, seed);
             map.save(path).expect("checkpoint write failed");
         }
-        let wall = started.elapsed().as_secs_f64();
+        let wall = started.elapsed_secs();
+        let tokens_per_sec = if wall > 0.0 { tokens as f64 / wall } else { 0.0 };
+        obs::static_counter!("train_tokens_total").add(tokens as u64);
+        obs::static_gauge!("train_tokens_per_sec").set(tokens_per_sec);
         TrainStats {
             steps_run: losses.len(),
-            tokens_per_sec: if wall > 0.0 { tokens as f64 / wall } else { 0.0 },
+            tokens_per_sec,
             losses,
             wall_secs: wall,
         }

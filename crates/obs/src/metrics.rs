@@ -1,0 +1,490 @@
+//! The lock-free metrics registry.
+//!
+//! Three metric kinds, all safe to hammer from any thread:
+//!
+//! * [`Counter`] — a monotonically increasing `AtomicU64`;
+//! * [`Gauge`] — an `f64` (stored as bits in an `AtomicU64`) that can be
+//!   set or adjusted;
+//! * [`Histogram`] — 256 log-linear buckets of `AtomicU64` (16 exact
+//!   buckets for values 0–15, then 4 linear sub-buckets per power of
+//!   two), plus sum and count, from which p50/p90/p99 snapshots are
+//!   derived.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a mutex once per
+//! unique name and hands back an `Arc` handle; the *observation* path is
+//! pure atomics. Hot call sites should cache the handle — the
+//! [`static_counter!`](crate::static_counter),
+//! [`static_gauge!`](crate::static_gauge) and
+//! [`static_histogram!`](crate::static_histogram) macros do that with a
+//! per-call-site `OnceLock`.
+//!
+//! Names follow Prometheus conventions and may carry a fixed label set
+//! inline: `http_requests_total{class="2xx"}` registers an independent
+//! series whose exposition groups under the `http_requests_total` family.
+//! Keep label values low-cardinality and derived from registered routes /
+//! status classes, never from request payloads.
+//!
+//! [`render_prometheus`] produces the text exposition format (served at
+//! `GET /metrics`); [`snapshot_all`] returns typed snapshots in
+//! deterministic (sorted-name) order for tests and benches.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An `f64` gauge (last-write-wins set, CAS-loop add).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by `d` (atomically, via compare-exchange).
+    pub fn add(&self, d: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets (see [`bucket_index`]).
+const BUCKETS: usize = 256;
+
+/// Map a sample to its log-linear bucket: values 0–15 get exact buckets;
+/// above that, each power-of-two octave is split into 4 linear
+/// sub-buckets (relative resolution ≤ 25% across the full `u64` range).
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // >= 4
+    let sub = (v >> (msb - 2)) & 3;
+    (16 + (msb - 4) * 4 + sub) as usize
+}
+
+/// Inclusive lower bound of bucket `idx`.
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < 16 {
+        return idx as u64;
+    }
+    let o = 4 + (idx - 16) as u64 / 4;
+    let sub = (idx - 16) as u64 % 4;
+    (1u64 << o) + sub * (1u64 << (o - 2))
+}
+
+/// Inclusive upper bound of bucket `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(idx + 1) - 1
+    }
+}
+
+/// A log-linear-bucket histogram of `u64` samples (typically ns).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(
+            f,
+            "Histogram {{ count: {}, sum: {}, p50: {}, p99: {} }}",
+            s.count, s.sum, s.p50, s.p99
+        )
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples observed.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Median (bucket upper bound containing the 50th percentile).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples observed so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate: the upper bound of the bucket holding the
+    /// `q`-th fraction of samples (0 when empty). Error is bounded by the
+    /// bucket's ≤ 25% relative width.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper(idx);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Count/sum/p50/p90/p99 in one (racy-but-consistent-enough) read.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn get_or_register(name: &str, make: impl FnOnce() -> Metric) -> Metric {
+    let mut reg = match registry().lock() {
+        Ok(g) => g,
+        // A panic while holding the registry lock cannot corrupt the map
+        // (all mutations are single inserts); keep serving metrics.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    reg.entry(name.to_string()).or_insert_with(make).clone()
+}
+
+/// Get or register the counter `name`. Panics if `name` is already
+/// registered as a different metric kind (a programming error).
+pub fn counter(name: &str) -> Arc<Counter> {
+    match get_or_register(name, || Metric::Counter(Arc::new(Counter::default()))) {
+        Metric::Counter(c) => c,
+        other => panic!("metric `{name}` already registered as {}", other.kind()),
+    }
+}
+
+/// Get or register the gauge `name`. Panics on a kind mismatch.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    match get_or_register(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+        Metric::Gauge(g) => g,
+        other => panic!("metric `{name}` already registered as {}", other.kind()),
+    }
+}
+
+/// Get or register the histogram `name`. Panics on a kind mismatch.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    match get_or_register(name, || Metric::Histogram(Arc::new(Histogram::default()))) {
+        Metric::Histogram(h) => h,
+        other => panic!("metric `{name}` already registered as {}", other.kind()),
+    }
+}
+
+/// Typed snapshot of one registered metric.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// Snapshot every registered metric in deterministic (sorted-name) order.
+pub fn snapshot_all() -> Vec<(String, MetricSnapshot)> {
+    let reg = match registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    reg.iter()
+        .map(|(name, m)| {
+            let snap = match m {
+                Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+            };
+            (name.clone(), snap)
+        })
+        .collect()
+}
+
+/// The metric *family* (name without the inline label set).
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Render `v` the way Prometheus expects floats (no exponent tricks
+/// needed at our magnitudes; integral values print bare).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the whole registry in the Prometheus text exposition format
+/// (`text/plain; version=0.0.4`), families and series in deterministic
+/// name order. Histograms emit cumulative `_bucket{le=...}` lines for
+/// non-empty buckets plus `+Inf`, `_sum` and `_count`.
+pub fn render_prometheus() -> String {
+    let reg = match registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (name, m) in reg.iter() {
+        let fam = family(name);
+        if fam != last_family {
+            out.push_str(&format!("# TYPE {fam} {}\n", m.kind()));
+            last_family = fam.to_string();
+        }
+        match m {
+            Metric::Counter(c) => {
+                out.push_str(&format!("{name} {}\n", c.get()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!("{name} {}\n", fmt_f64(g.get())));
+            }
+            Metric::Histogram(h) => {
+                let mut cum = 0u64;
+                for idx in 0..BUCKETS {
+                    let c = h.buckets[idx].load(Ordering::Relaxed);
+                    if c == 0 {
+                        continue;
+                    }
+                    cum += c;
+                    out.push_str(&format!(
+                        "{fam}_bucket{{le=\"{}\"}} {cum}\n",
+                        bucket_upper(idx)
+                    ));
+                }
+                out.push_str(&format!("{fam}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                out.push_str(&format!("{fam}_sum {}\n", h.sum()));
+                out.push_str(&format!("{fam}_count {}\n", h.count()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_monotone_and_total() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS);
+            assert!(idx >= last, "bucket index must not decrease at v={v}");
+            assert!(bucket_lower(idx) <= v && v <= bucket_upper(idx), "v={v} idx={idx}");
+            last = idx;
+        }
+        // boundaries: every bucket's upper + 1 == next bucket's lower
+        for idx in 0..BUCKETS - 1 {
+            assert_eq!(bucket_upper(idx) + 1, bucket_lower(idx + 1), "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        // p50 of 1..=1000 is ~500; log-linear error bound is ≤ 25%
+        assert!((375..=640).contains(&s.p50), "p50={}", s.p50);
+        assert!(s.p99 >= 900, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.p50, s.p99), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn registry_handles_are_shared_and_typed() {
+        let c1 = counter("obs_test_shared_counter");
+        let c2 = counter("obs_test_shared_counter");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3);
+        let g = gauge("obs_test_gauge");
+        g.set(1.5);
+        g.add(-0.5);
+        assert!((g.get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let _ = counter("obs_test_kind_clash");
+        let _ = gauge("obs_test_kind_clash");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_typed() {
+        counter("obs_test_render_b").add(7);
+        gauge("obs_test_render_a").set(2.0);
+        histogram("obs_test_render_h").observe(100);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE obs_test_render_a gauge"));
+        assert!(text.contains("obs_test_render_a 2\n"));
+        assert!(text.contains("# TYPE obs_test_render_b counter"));
+        assert!(text.contains("obs_test_render_b 7\n"));
+        assert!(text.contains("# TYPE obs_test_render_h histogram"));
+        assert!(text.contains("obs_test_render_h_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("obs_test_render_h_sum 100"));
+        assert!(text.contains("obs_test_render_h_count 1"));
+        // sorted family order
+        let a = text.find("obs_test_render_a").unwrap();
+        let b = text.find("obs_test_render_b").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn labeled_series_group_under_one_family() {
+        counter("obs_test_labeled_total{class=\"2xx\"}").inc();
+        counter("obs_test_labeled_total{class=\"5xx\"}").add(2);
+        let text = render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE obs_test_labeled_total counter").count(),
+            1
+        );
+        assert!(text.contains("obs_test_labeled_total{class=\"2xx\"} 1"));
+        assert!(text.contains("obs_test_labeled_total{class=\"5xx\"} 2"));
+    }
+
+    #[test]
+    fn snapshot_all_is_name_sorted() {
+        counter("obs_test_sorted_z").inc();
+        counter("obs_test_sorted_a").inc();
+        let names: Vec<String> = snapshot_all().into_iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn concurrent_observations_are_all_counted() {
+        let h = histogram("obs_test_concurrent_h");
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.observe(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

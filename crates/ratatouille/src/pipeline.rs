@@ -1,8 +1,6 @@
 //! The end-to-end pipeline: corpus → preprocess → train → generate →
 //! evaluate (the paper's Fig. 3 flow, plus the Table-I evaluation loop).
 
-use std::time::Instant;
-
 use ratatouille_util::rng::StdRng;
 use ratatouille_util::rng::SeedableRng;
 
@@ -206,9 +204,11 @@ impl TrainedModel {
         for (i, recipe) in subset.iter().enumerate() {
             let ingredients: Vec<String> =
                 recipe.ingredients.iter().map(|l| l.name.clone()).collect();
-            let started = Instant::now();
+            let started = obs::Clock::now();
             let tagged = self.generate_tagged(&ingredients, seed ^ (i as u64));
-            gen_secs += started.elapsed().as_secs_f64();
+            let ns = started.elapsed_ns();
+            obs::static_histogram!("eval_generate_ns").observe(ns);
+            gen_secs += ns as f64 / 1e9;
 
             // reference continuation: everything after <TITLE_START>
             let full_ref = recipe.to_tagged_string();

@@ -5,14 +5,16 @@
 //! * `GET  /api/health`   — liveness + worker count + routes;
 //! * `GET  /api/models`   — the serving model's card;
 //! * `POST /api/generate` — `{"ingredients": ["flour", …]}` →
-//!   `{"title", "ingredients", "instructions", "model", "latency_ms"}`.
+//!   `{"title", "ingredients", "instructions", "model", "latency_ms"}`;
+//! * `GET  /healthz`      — bare-text liveness probe;
+//! * `GET  /metrics`      — the `obs` registry in Prometheus text format;
+//! * `GET  /debug/stacks` — folded span stacks (flamegraph input).
 //!
 //! The API is generic over [`RecipeBackend`] so this crate stays free of
 //! model dependencies; the `ratatouille` crate plugs the real models in.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use crate::frontend;
 use crate::http::{HttpServer, Request, Response, StatusCode};
@@ -119,12 +121,14 @@ impl ApiServer {
             move |wi| {
                 let mut backend = factory(wi);
                 move |job: GenJob| {
-                    let start = Instant::now();
+                    let start = obs::Clock::now();
                     let recipe = backend.generate(&job.ingredients);
+                    let ns = start.elapsed_ns();
+                    obs::static_histogram!("generate_latency_ns").observe(ns);
                     GenOut {
                         recipe,
                         model: backend.model_name(),
-                        latency_ms: start.elapsed().as_secs_f64() * 1000.0,
+                        latency_ms: ns as f64 / 1e6,
                     }
                 }
             },
@@ -159,6 +163,17 @@ impl ApiServer {
             })
             .route("POST", "/api/generate", move |req| {
                 handle_generate(req, &pool_for_gen, &stats_for_gen)
+            })
+            .route("GET", "/healthz", |_req| {
+                Response::text(StatusCode::Ok, "ok")
+            })
+            .route("GET", "/metrics", |_req| Response {
+                status: StatusCode::Ok,
+                content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+                body: obs::metrics::render_prometheus().into_bytes(),
+            })
+            .route("GET", "/debug/stacks", |_req| {
+                Response::text(StatusCode::Ok, obs::trace::folded_stacks())
             });
 
         let server = HttpServer::start(addr, move |req| router.dispatch(&req))?;

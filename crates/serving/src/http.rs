@@ -162,27 +162,63 @@ impl Response {
     }
 }
 
+/// Why a request failed to parse, split by the status code it maps to:
+/// size-limit violations answer 413, everything else 400.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Head or declared body exceeds a size limit (→ 413).
+    TooLarge(String),
+    /// The bytes are not a well-formed HTTP/1.x request (→ 400).
+    Malformed(String),
+}
+
+impl ParseError {
+    fn malformed(msg: impl Into<String>) -> ParseError {
+        ParseError::Malformed(msg.into())
+    }
+
+    /// The status code this error maps to on the wire.
+    pub fn status(&self) -> StatusCode {
+        match self {
+            ParseError::TooLarge(_) => StatusCode::PayloadTooLarge,
+            ParseError::Malformed(_) => StatusCode::BadRequest,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::TooLarge(m) | ParseError::Malformed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
 /// Parse one request from a buffered stream.
-pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
     let mut line = String::new();
     let mut head_bytes = 0usize;
     reader
         .read_line(&mut line)
-        .map_err(|e| format!("read error: {e}"))?;
+        .map_err(|e| ParseError::malformed(format!("read error: {e}")))?;
     head_bytes += line.len();
     let line = line.trim_end();
     if line.is_empty() {
-        return Err("empty request line".into());
+        return Err(ParseError::malformed("empty request line"));
     }
     let mut parts = line.split(' ');
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
-    let target = parts.next().ok_or("missing request target")?;
-    let version = parts.next().ok_or("missing http version")?;
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::malformed("missing http version"))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported version {version}"));
+        return Err(ParseError::malformed(format!("unsupported version {version}")));
     }
     if method.is_empty() || !method.chars().all(|c| c.is_ascii_alphabetic()) {
-        return Err("bad method".into());
+        return Err(ParseError::malformed("bad method"));
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
@@ -194,33 +230,38 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
         let mut hline = String::new();
         reader
             .read_line(&mut hline)
-            .map_err(|e| format!("header read error: {e}"))?;
+            .map_err(|e| ParseError::malformed(format!("header read error: {e}")))?;
         head_bytes += hline.len();
         if head_bytes > MAX_HEAD {
-            return Err("request head too large".into());
+            return Err(ParseError::TooLarge("request head too large".into()));
         }
         let hline = hline.trim_end();
         if hline.is_empty() {
             break;
         }
-        let (k, v) = hline.split_once(':').ok_or("malformed header")?;
+        let (k, v) = hline
+            .split_once(':')
+            .ok_or_else(|| ParseError::malformed("malformed header"))?;
         headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
     }
 
     let content_length: usize = headers
         .iter()
         .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse().map_err(|_| "bad content-length".to_string()))
+        .map(|(_, v)| {
+            v.parse()
+                .map_err(|_| ParseError::malformed("bad content-length"))
+        })
         .transpose()?
         .unwrap_or(0);
     if content_length > MAX_BODY {
-        return Err("body too large".into());
+        return Err(ParseError::TooLarge("body too large".into()));
     }
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
         reader
             .read_exact(&mut body)
-            .map_err(|e| format!("body read error: {e}"))?;
+            .map_err(|e| ParseError::malformed(format!("body read error: {e}")))?;
     }
     Ok(Request {
         method,
@@ -306,6 +347,7 @@ impl Drop for HttpServer {
 }
 
 fn handle_connection(stream: TcpStream, handler: &(dyn Fn(Request) -> Response + Send + Sync)) {
+    let start = obs::Clock::now();
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut writer = match stream.try_clone() {
@@ -315,10 +357,23 @@ fn handle_connection(stream: TcpStream, handler: &(dyn Fn(Request) -> Response +
     let mut reader = BufReader::new(stream);
     let response = match parse_request(&mut reader) {
         Ok(req) => handler(req),
-        Err(e) => Response::text(StatusCode::BadRequest, format!("bad request: {e}")),
+        Err(e) => Response::text(e.status(), format!("bad request: {e}")),
     };
+    record_request(response.status, start);
     let _ = writer.write_all(&response.to_bytes());
     let _ = writer.flush();
+}
+
+/// Per-request telemetry: latency histogram plus a counter per status
+/// class. One `static_counter!` per arm so each series keeps a cached
+/// handle (the macro binds one handle per call site).
+fn record_request(status: StatusCode, start: obs::Stamp) {
+    obs::static_histogram!("http_request_ns").observe(start.elapsed_ns());
+    match status.code() / 100 {
+        2 => obs::static_counter!(r#"http_requests_total{class="2xx"}"#).inc(),
+        4 => obs::static_counter!(r#"http_requests_total{class="4xx"}"#).inc(),
+        _ => obs::static_counter!(r#"http_requests_total{class="5xx"}"#).inc(),
+    }
 }
 
 #[cfg(test)]
@@ -326,7 +381,7 @@ mod tests {
     use super::*;
     use std::io::{Cursor, Read};
 
-    fn parse(s: &str) -> Result<Request, String> {
+    fn parse(s: &str) -> Result<Request, ParseError> {
         parse_request(&mut Cursor::new(s.as_bytes()))
     }
 
@@ -368,6 +423,21 @@ mod tests {
     fn rejects_oversized_body_declaration() {
         let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
         assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn size_limit_errors_map_to_413_and_malformed_to_400() {
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert_eq!(parse(&raw).unwrap_err().status(), StatusCode::PayloadTooLarge);
+        let big_head = format!("GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD));
+        assert_eq!(
+            parse(&big_head).unwrap_err().status(),
+            StatusCode::PayloadTooLarge
+        );
+        assert_eq!(
+            parse("GARBAGE\r\n\r\n").unwrap_err().status(),
+            StatusCode::BadRequest
+        );
     }
 
     #[test]

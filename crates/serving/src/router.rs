@@ -40,6 +40,14 @@ impl Router {
     /// CORS preflight (the decoupled-frontend contract).
     pub fn dispatch(&self, req: &Request) -> Response {
         if let Some(h) = self.routes.get(&(req.method.clone(), req.path.clone())) {
+            // Per-route hit counter. Cardinality is bounded by the set of
+            // registered routes, so the dynamic registry lookup is safe;
+            // unmatched paths are deliberately not labeled (unbounded).
+            obs::metrics::counter(&format!(
+                "http_route_hits_total{{route=\"{} {}\"}}",
+                req.method, req.path
+            ))
+            .inc();
             return h(req);
         }
         if self.paths.contains(&req.path) {

@@ -37,7 +37,13 @@ impl std::fmt::Display for PoolError {
 
 impl std::error::Error for PoolError {}
 
-type Job<J, R> = (J, SyncSender<Result<R, PoolError>>);
+/// One queued request: the payload, where to send the result, and the
+/// enqueue stamp for the `serving_queue_wait_ns` histogram.
+struct Job<J, R> {
+    payload: J,
+    reply: SyncSender<Result<R, PoolError>>,
+    enqueued_ns: u64,
+}
 
 /// A fixed-size pool of worker threads, each owning a replica built by
 /// the factory.
@@ -80,10 +86,17 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
                                 Ok(guard) => guard.recv(),
                                 Err(_) => break, // a holder panicked mid-dequeue
                             };
-                            let Ok((job, reply)) = next else { break };
+                            let Ok(job) = next else { break };
+                            let dequeued = obs::Clock::now();
+                            obs::static_gauge!("serving_queue_depth").add(-1.0);
+                            obs::static_histogram!("serving_queue_wait_ns")
+                                .observe(dequeued.at_ns().saturating_sub(job.enqueued_ns));
+                            let Job { payload, reply, .. } = job;
                             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                replica(job)
+                                replica(payload)
                             }));
+                            obs::static_histogram!("serving_exec_ns")
+                                .observe(dequeued.elapsed_ns());
                             match result {
                                 Ok(r) => {
                                     let _ = reply.send(Ok(r));
@@ -115,10 +128,19 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
     pub fn execute(&self, job: J) -> Result<R, PoolError> {
         let (reply_tx, reply_rx) = sync_channel(1);
         let tx = self.tx.as_ref().ok_or(PoolError::Disconnected)?;
-        tx.try_send((job, reply_tx)).map_err(|e| match e {
-            TrySendError::Full(_) => PoolError::QueueFull,
+        tx.try_send(Job {
+            payload: job,
+            reply: reply_tx,
+            enqueued_ns: obs::Clock::now().at_ns(),
+        })
+        .map_err(|e| match e {
+            TrySendError::Full(_) => {
+                obs::static_counter!("serving_queue_rejections_total").inc();
+                PoolError::QueueFull
+            }
             TrySendError::Disconnected(_) => PoolError::Disconnected,
         })?;
+        obs::static_gauge!("serving_queue_depth").add(1.0);
         reply_rx.recv().map_err(|_| PoolError::Disconnected)?
     }
 
@@ -190,7 +212,7 @@ mod tests {
             })
             .unwrap(),
         );
-        let start = std::time::Instant::now();
+        let start = obs::Clock::now();
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let p = Arc::clone(&pool);
@@ -200,10 +222,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let elapsed = start.elapsed();
+        let elapsed_ms = start.elapsed_ns() / 1_000_000;
         assert!(
-            elapsed < std::time::Duration::from_millis(120),
-            "took {elapsed:?} — pool not parallel"
+            elapsed_ms < 120,
+            "took {elapsed_ms}ms — pool not parallel"
         );
     }
 

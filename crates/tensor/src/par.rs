@@ -64,6 +64,8 @@ struct Job {
     /// borrow outlives all worker access even though it is typed `'static`.
     f: &'static (dyn Fn(usize) + Sync),
     index: usize,
+    /// Enqueue stamp, for the `tensor_pool_queue_wait_ns` histogram.
+    enqueued_ns: u64,
     done: mpsc::Sender<TaskResult>,
 }
 
@@ -98,6 +100,7 @@ impl Pool {
                 .expect("failed to spawn pool worker");
             senders.push(tx);
         }
+        obs::static_gauge!("tensor_pool_workers").set(senders.len() as f64);
         senders[..n].to_vec()
     }
 }
@@ -107,7 +110,11 @@ fn worker_loop(rx: mpsc::Receiver<Job>) {
     // The receiver errors only when the pool itself is dropped (process
     // exit), which is this worker's shutdown signal.
     while let Ok(job) = rx.recv() {
+        let dequeued = obs::Clock::now();
+        obs::static_histogram!("tensor_pool_queue_wait_ns")
+            .observe(dequeued.at_ns().saturating_sub(job.enqueued_ns));
         let result = catch_unwind(AssertUnwindSafe(|| (job.f)(job.index)));
+        obs::static_histogram!("tensor_pool_exec_ns").observe(dequeued.elapsed_ns());
         // A send error means the launcher already gave up (its latch was
         // dropped during an unwind after draining); nothing left to do.
         let _ = job.done.send(result);
@@ -171,6 +178,7 @@ where
         }
         return;
     }
+    obs::static_counter!("tensor_pool_launches_total").inc();
     let senders = pool().workers(tasks - 1);
     let (done_tx, done_rx) = mpsc::channel::<TaskResult>();
     let f_ref: &(dyn Fn(usize) + Sync) = &f;
@@ -192,6 +200,7 @@ where
             .send(Job {
                 f: f_static,
                 index: w + 1,
+                enqueued_ns: obs::Clock::now().at_ns(),
                 done: done_tx.clone(),
             })
             .expect("pool worker channel closed");

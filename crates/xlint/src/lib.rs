@@ -445,7 +445,7 @@ mod tests {
 
     #[test]
     fn suppression_silences_and_is_marked_used() {
-        let src = "// xlint: allow(forbidden-nondeterminism): wall clock only feeds a log line\n\
+        let src = "// xlint: allow(obs-only-timing): bootstrap shim predating the obs clock\n\
                    fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
         let diags = lint_source("crates/models/src/x.rs", src);
         assert!(diags.is_empty(), "{diags:?}");
@@ -453,11 +453,11 @@ mod tests {
 
     #[test]
     fn suppression_without_reason_is_reported() {
-        let src = "// xlint: allow(forbidden-nondeterminism)\n\
+        let src = "// xlint: allow(obs-only-timing)\n\
                    fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
         let diags = lint_source("crates/models/src/x.rs", src);
         // the original diagnostic survives AND the suppression is flagged
-        assert!(diags.iter().any(|d| d.rule == "forbidden-nondeterminism"));
+        assert!(diags.iter().any(|d| d.rule == "obs-only-timing"));
         assert!(diags.iter().any(|d| d.rule == "allow-needs-justification"));
     }
 

@@ -31,6 +31,20 @@ pub struct Rule {
 /// `bench` and `serving` are deliberately absent (timing is their job).
 const RESULT_AFFECTING: &[&str] = &["tensor", "models", "tokenizers", "eval", "recipedb"];
 
+/// Crates where every timing read must go through `obs::Clock`: the
+/// result-affecting set plus the instrumented serving/pipeline layers.
+/// `obs` (the clock authority), `util` and `bench` are the wall-clock
+/// allowlist and stay off this list.
+const OBS_TIMED: &[&str] = &[
+    "tensor",
+    "models",
+    "tokenizers",
+    "eval",
+    "recipedb",
+    "serving",
+    "ratatouille",
+];
+
 /// The blessed kernel directory: float reductions are *defined* here.
 const BLESSED_KERNELS: &str = "crates/tensor/src/ops/";
 
@@ -53,12 +67,19 @@ fn serving_crate(ctx: &FileCtx) -> bool {
     ctx.crate_name.as_deref() == Some("serving")
 }
 
+fn obs_timed(ctx: &FileCtx) -> bool {
+    ctx.crate_name
+        .as_deref()
+        .map(|c| OBS_TIMED.contains(&c))
+        .unwrap_or(false)
+}
+
 /// The full catalogue, in diagnostic-id order.
 pub fn catalogue() -> &'static [Rule] {
     &CATALOGUE
 }
 
-static CATALOGUE: [Rule; 5] = [
+static CATALOGUE: [Rule; 6] = [
     Rule {
         id: "unsafe-needs-safety-comment",
         summary: "every `unsafe` block/fn/impl must be immediately preceded by a `// SAFETY:` \
@@ -69,11 +90,19 @@ static CATALOGUE: [Rule; 5] = [
     },
     Rule {
         id: "forbidden-nondeterminism",
-        summary: "wall clocks, default-hasher maps and env-dependent branching are banned in \
+        summary: "default-hasher maps and env-dependent branching are banned in \
                   result-affecting crates (tensor, models, tokenizers, eval, recipedb)",
         skip_tests: true,
         applies: result_affecting,
         check: check_forbidden_nondeterminism,
+    },
+    Rule {
+        id: "obs-only-timing",
+        summary: "raw wall clocks (`Instant::now`, `SystemTime`) are banned in instrumented \
+                  crates — take stamps via `obs::Clock` so telemetry stays write-only",
+        skip_tests: true,
+        applies: obs_timed,
+        check: check_obs_only_timing,
     },
     Rule {
         id: "no-panic-in-request-path",
@@ -196,11 +225,7 @@ fn check_forbidden_nondeterminism(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     };
     for i in 0..toks.len() {
         let line = toks[i].line;
-        if toks[i].ident() == Some("SystemTime") {
-            push(out, line, "`SystemTime` (wall clock)", "move timing to `bench`/`serving` or thread it through the caller");
-        } else if seq_matches(&toks, i, &["Instant", ":", ":", "now"]) {
-            push(out, line, "`Instant::now` (wall clock)", "timing belongs in `bench`/`serving`; if it only feeds a log line, suppress with a justification");
-        } else if seq_matches(&toks, i, &["env", ":", ":", "var"])
+        if seq_matches(&toks, i, &["env", ":", ":", "var"])
             || seq_matches(&toks, i, &["env", ":", ":", "vars"])
             || seq_matches(&toks, i, &["env", ":", ":", "var_os"])
             || seq_matches(&toks, i, &["env", "!"])
@@ -209,6 +234,36 @@ fn check_forbidden_nondeterminism(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
             push(out, line, "environment-dependent branching", "plumb configuration through typed options instead");
         } else if matches!(toks[i].ident(), Some("HashMap") | Some("HashSet")) {
             push(out, line, "`HashMap`/`HashSet` with the default (randomly seeded) hasher", "use `ratatouille_util::collections::{DetMap, DetSet}` for deterministic iteration order");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// obs-only-timing
+// ---------------------------------------------------------------------------
+
+fn check_obs_only_timing(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = code(ctx);
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if toks[i].ident() == Some("SystemTime") {
+            out.push(diag(
+                ctx,
+                line,
+                "obs-only-timing",
+                "`SystemTime` in an instrumented crate; take stamps via `obs::Clock::now()` \
+                 so all timing flows through the write-only telemetry layer"
+                    .to_string(),
+            ));
+        } else if seq_matches(&toks, i, &["Instant", ":", ":", "now"]) {
+            out.push(diag(
+                ctx,
+                line,
+                "obs-only-timing",
+                "raw `Instant::now` in an instrumented crate; use `obs::Clock::now()` (and an \
+                 obs histogram/span) so there is one timing idiom repo-wide"
+                    .to_string(),
+            ));
         }
     }
 }
@@ -407,7 +462,33 @@ mod tests {
             "crates/models/src/x.rs",
             "fn f() -> std::time::Instant { std::time::Instant::now() }\n",
         );
-        assert_eq!(hits, vec![("forbidden-nondeterminism", 1)]);
+        assert_eq!(hits, vec![("obs-only-timing", 1)]);
+    }
+
+    #[test]
+    fn obs_only_timing_scoped_to_instrumented_crates() {
+        let src = "fn f() -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 }\n";
+        assert_eq!(
+            rules_hit("crates/serving/src/x.rs", src),
+            vec![("obs-only-timing", 1)]
+        );
+        assert_eq!(
+            rules_hit("crates/ratatouille/src/x.rs", src),
+            vec![("obs-only-timing", 1)]
+        );
+        // the wall-clock allowlist: obs (the clock authority), util, bench
+        assert!(rules_hit("crates/obs/src/clock.rs", src).is_empty());
+        assert!(rules_hit("crates/util/src/x.rs", src).is_empty());
+        assert!(rules_hit("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn system_time_flagged_as_obs_only_timing() {
+        let hits = rules_hit(
+            "crates/eval/src/x.rs",
+            "fn f() { let _ = std::time::SystemTime::now(); }\n",
+        );
+        assert_eq!(hits, vec![("obs-only-timing", 1)]);
     }
 
     #[test]

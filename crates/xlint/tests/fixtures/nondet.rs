@@ -1,4 +1,4 @@
-//! Seeded `forbidden-nondeterminism` violations: lines 2, 4, 5, 9, 15.
+//! Seeded violations: forbidden-nondeterminism on 2, 4, 5, 15; obs-only-timing on 9.
 use std::collections::HashMap;
 
 fn counts() -> HashMap<String, usize> {
@@ -15,7 +15,7 @@ fn tuned() -> bool {
     std::env::var("FAST_MATH").is_ok()
 }
 
-// xlint: allow(forbidden-nondeterminism): wall clock feeds a log line only
+// xlint: allow(obs-only-timing): wall clock feeds a log line only
 fn logged() { let _ = std::time::Instant::now(); }
 
 #[cfg(test)]

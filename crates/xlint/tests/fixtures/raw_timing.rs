@@ -1,0 +1,20 @@
+//! Seeded obs-only-timing violations: lines 4, 10; 7 is clean, 14 suppressed.
+
+fn bad_instant() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+fn good_stamp() -> u64 { obs::Clock::now().at_ns() }
+
+fn bad_walltime() {
+    let _ = std::time::SystemTime::now();
+}
+
+// xlint: allow(obs-only-timing): migration shim measured before obs existed
+fn grandfathered() { let _ = std::time::Instant::now(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() { let _ = std::time::Instant::now(); }
+}

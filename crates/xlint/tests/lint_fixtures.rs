@@ -34,7 +34,7 @@ fn nondet_fixture_flags_clock_env_and_hashmap() {
             ("forbidden-nondeterminism", 2),
             ("forbidden-nondeterminism", 4),
             ("forbidden-nondeterminism", 5),
-            ("forbidden-nondeterminism", 9),
+            ("obs-only-timing", 9),
             ("forbidden-nondeterminism", 15),
         ],
         "line 19 is suppressed with a reason; the cfg(test) mod is exempt"
@@ -47,8 +47,25 @@ fn nondet_fixture_is_clean_in_an_allowlisted_crate() {
     assert_eq!(
         diags("crates/bench/src/fixture.rs", src),
         vec![("allow-needs-justification", 18)],
-        "bench is allowlisted for nondeterminism, so the rule stays quiet \
-         and the now-unused suppression is reported as stale"
+        "bench is allowlisted for nondeterminism and raw timing, so both \
+         rules stay quiet and the now-unused suppression is reported as stale"
+    );
+}
+
+#[test]
+fn timing_fixture_flags_raw_clocks_in_instrumented_crates_only() {
+    let src = include_str!("fixtures/raw_timing.rs");
+    assert_eq!(
+        diags("crates/serving/src/fixture.rs", src),
+        vec![("obs-only-timing", 4), ("obs-only-timing", 10)],
+        "line 7 goes through obs::Clock and line 14 is suppressed; \
+         the cfg(test) mod is exempt"
+    );
+    assert_eq!(
+        diags("crates/obs/src/fixture.rs", src),
+        vec![("allow-needs-justification", 13)],
+        "obs is the clock authority: the rule stays quiet there and the \
+         suppression goes stale"
     );
 }
 

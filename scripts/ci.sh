@@ -24,9 +24,14 @@ echo "== test (all targets) =="
 cargo test --workspace -q --offline
 
 echo "== bench smoke (fast mode, kernel + generation harnesses) =="
-RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD/target}" \
+# BENCH_*.json artifacts land at the repo root so the bench trajectory is
+# tracked in-tree run over run (EXPERIMENTS.md records the runs).
+RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD}" \
     cargo bench -p ratatouille-bench --bench tensor_kernels --offline
-RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD/target}" \
+RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD}" \
     cargo bench -p ratatouille-bench --bench generation_latency --offline
+
+echo "== /metrics smoke (serve, scrape, assert required metric names) =="
+cargo run --release -q -p ratatouille-bench --bin metrics_smoke --offline
 
 echo "== ci.sh: all gates passed =="

@@ -103,3 +103,92 @@ fn frontend_ships_with_server() {
     assert!(body.contains("/api/generate"));
     server.stop();
 }
+
+/// Send raw bytes and return the full response text (for requests the
+/// structured client can't express: bad methods, oversized heads).
+fn raw_request(addr: std::net::SocketAddr, bytes: &[u8]) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(bytes).unwrap();
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // A reset after the response landed (the server may close with
+            // request bytes still unread) is fine — keep what we got.
+            Err(_) => break,
+        }
+    }
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+#[test]
+fn http_error_paths_map_to_the_right_status() {
+    let trained = trained_model();
+    let server = ApiServer::start("127.0.0.1:0", 1, 4, trained.backend_factory()).unwrap();
+    let addr = server.addr();
+
+    // oversized head (> 16 KiB of headers) → 413
+    let mut big = b"GET /api/health HTTP/1.1\r\n".to_vec();
+    big.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "a".repeat(17 * 1024)).as_bytes());
+    let resp = raw_request(addr, &big);
+    assert!(resp.starts_with("HTTP/1.1 413 "), "{resp}");
+
+    // unknown route → 404
+    let resp = raw_request(addr, b"GET /no/such/route HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 404 "), "{resp}");
+
+    // known route, wrong method → 405
+    let resp = raw_request(addr, b"DELETE /api/generate HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 405 "), "{resp}");
+
+    // malformed request line → 400
+    let resp = raw_request(addr, b"NOT HTTP\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+
+    server.stop();
+}
+
+#[test]
+fn healthz_and_metrics_endpoints() {
+    let trained = trained_model();
+    let server = ApiServer::start("127.0.0.1:0", 1, 4, trained.backend_factory()).unwrap();
+    let client = HttpClient::new(server.addr());
+
+    let (status, body) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok");
+
+    // generate once so decode/serving histograms have samples in-process
+    let (status, body) = client
+        .post_json("/api/generate", r#"{"ingredients":["flour","water"]}"#)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    let (status, metrics) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    for name in [
+        "http_requests_total",
+        "http_request_ns",
+        "decode_token_ns",
+        "serving_queue_wait_ns",
+        "train_tokens_per_sec",
+        "generate_latency_ns",
+    ] {
+        assert!(metrics.contains(name), "missing `{name}` in:\n{metrics}");
+    }
+    // Prometheus text exposition shape
+    assert!(metrics.contains("# TYPE http_request_ns histogram"), "{metrics}");
+    assert!(metrics.contains("http_request_ns_bucket{le=\"+Inf\"}"), "{metrics}");
+    assert!(metrics.contains("# TYPE train_tokens_per_sec gauge"), "{metrics}");
+
+    // folded span stacks are exposed for flamegraph tooling
+    let (status, stacks) = client.get("/debug/stacks").unwrap();
+    assert_eq!(status, 200);
+    assert!(stacks.contains("decode"), "spans missing from:\n{stacks}");
+
+    server.stop();
+}
