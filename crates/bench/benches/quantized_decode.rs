@@ -1,0 +1,82 @@
+//! **T-quant** — f32 vs int8 weight-quantized decode throughput.
+//!
+//! Measures the tentpole of the dtype-generic tensor core: greedy decode
+//! with the f32 `Gpt2Lm` stream (f32 KV-cache, `matmul_transb`) against
+//! the int8 `QuantGpt2Lm` stream (f16 KV-cache, `qmatmul_transb` with the
+//! AVX2 maddubs kernel), at both Table-I transformer tiers. Decode cost
+//! is weight-independent, so models are benchmarked at init.
+//!
+//! The raw int8-vs-f32 GEMM gap is isolated in a separate group over the
+//! medium tier's hottest shape (the `[4D, D]` fused QKV projection).
+
+use ratatouille_util::bench::{Bench, BenchmarkId, Throughput};
+use ratatouille_util::{bench_group, bench_main};
+use ratatouille::models::gpt2::{Gpt2Config, Gpt2Lm};
+use ratatouille::models::InferenceModel;
+use ratatouille_tensor::{ops, Tensor};
+
+const VOCAB: usize = 384;
+const TOKENS: u64 = 48;
+
+fn decode_tokens(model: &dyn InferenceModel, n: u64) -> u32 {
+    let mut stream = model.start_stream();
+    let mut tok = 2u32;
+    for _ in 0..n {
+        let logits = stream.push(tok);
+        let data = logits.data();
+        let mut best = 0usize;
+        for (i, &v) in data.iter().enumerate() {
+            if v > data[best] {
+                best = i;
+            }
+        }
+        tok = (best % VOCAB) as u32;
+    }
+    tok
+}
+
+fn bench_decode(c: &mut Bench) {
+    let tiers: [(&str, Gpt2Config); 2] = [
+        ("distil", Gpt2Config::distil(VOCAB)),
+        ("medium", Gpt2Config::medium(VOCAB)),
+    ];
+    let mut group = c.benchmark_group("quantized_decode");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOKENS));
+    for (tier, cfg) in tiers {
+        let model = Gpt2Lm::new(cfg);
+        let quant = model.quantize();
+        group.bench_function(BenchmarkId::new("f32", tier), |b| {
+            b.iter(|| decode_tokens(&model, TOKENS))
+        });
+        group.bench_function(BenchmarkId::new("int8", tier), |b| {
+            b.iter(|| decode_tokens(&quant, TOKENS))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Bench) {
+    // medium tier's fused QKV shape: x [1, 128] @ W_qkv [384, 128]ᵀ
+    let (d, n) = (128usize, 3 * 128usize);
+    let w = Tensor::from_vec(
+        (0..n * d).map(|i| ((i * 31 % 255) as f32 - 127.0) * 0.01).collect(),
+        &[n, d],
+    )
+    .unwrap();
+    let x = Tensor::from_vec((0..d).map(|i| (i as f32 * 0.07).sin()).collect(), &[1, d]).unwrap();
+    let q = ops::quantize_per_row(&w);
+
+    let mut group = c.benchmark_group("quantized_gemm_qkv");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("f32_matmul_transb", |b| {
+        b.iter(|| ops::matmul_transb(&x, &w))
+    });
+    group.bench_function("int8_qmatmul_transb", |b| {
+        b.iter(|| ops::qmatmul_transb(&x, &q))
+    });
+    group.finish();
+}
+
+bench_group!(benches, bench_decode, bench_gemm);
+bench_main!(benches);

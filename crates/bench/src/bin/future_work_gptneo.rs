@@ -17,7 +17,7 @@ use ratatouille::models::gptneo::{GptNeoConfig, GptNeoLm};
 use ratatouille::models::registry::{ModelKind, ModelSpec};
 use ratatouille::models::sample::{generate, SamplerConfig};
 use ratatouille::models::train::Trainer;
-use ratatouille::models::LanguageModel;
+use ratatouille::models::{InferenceModel, LanguageModel};
 use ratatouille::pipeline::{prompt_for, spaced_tags};
 use ratatouille::tokenizers::{special, Tokenizer};
 use ratatouille::Pipeline;

@@ -151,7 +151,7 @@ pub fn greedy_decode(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lm::Batch;
+    use crate::lm::{Batch, InferenceModel};
     use crate::lstm::{LstmConfig, LstmLm};
     use ratatouille_util::rng::StdRng;
     use ratatouille_util::rng::SeedableRng;

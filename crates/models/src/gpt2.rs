@@ -11,10 +11,11 @@
 
 use ratatouille_util::rng::StdRng;
 use ratatouille_util::rng::SeedableRng;
-use ratatouille_tensor::{init, ops, Tensor, Var};
+use ratatouille_tensor::ops::{qmatmul_transb, quantize_per_row, QuantizedMatrix};
+use ratatouille_tensor::{init, ops, DType, Tensor, Var, F16};
 
-use crate::lm::{Batch, LanguageModel, TokenStream};
-use crate::transformer::{Block, DecodeScratch, KvCache};
+use crate::lm::{Batch, InferenceModel, LanguageModel, TokenStream};
+use crate::transformer::{Block, DecodeScratch, KvCache, QuantBlock};
 
 /// GPT-2 hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +118,25 @@ impl Gpt2Lm {
         &self.config
     }
 
+    /// Snapshot this model into an int8 weight-quantized inference-only
+    /// copy. Weights are quantized per output row; embeddings, layer
+    /// norms and biases stay f32; the decode KV cache stores f16.
+    pub fn quantize(&self) -> QuantGpt2Lm {
+        let wte = self.wte.value();
+        QuantGpt2Lm {
+            name: format!("{} [int8]", self.config.name),
+            // wte is [V, D]: for the tied head each vocab row is already
+            // an output row, so it quantizes without a transpose.
+            wte_q: quantize_per_row(&wte),
+            wte,
+            wpe: self.wpe.value(),
+            blocks: self.blocks.iter().map(QuantBlock::from_block).collect(),
+            lnf_g: self.lnf_g.value(),
+            lnf_b: self.lnf_b.value(),
+            config: self.config.clone(),
+        }
+    }
+
     /// Differentiable logits for a batch: `[B*T, V]`.
     fn forward_logits(&self, batch: &Batch, train: bool, rng: &mut StdRng) -> Var {
         let (b, t, d) = (batch.batch_size(), batch.seq_len(), self.config.d_model);
@@ -143,7 +163,7 @@ impl Gpt2Lm {
     }
 }
 
-impl LanguageModel for Gpt2Lm {
+impl InferenceModel for Gpt2Lm {
     fn name(&self) -> &str {
         &self.config.name
     }
@@ -156,6 +176,19 @@ impl LanguageModel for Gpt2Lm {
         self.config.max_t
     }
 
+    fn start_stream(&self) -> Box<dyn TokenStream + '_> {
+        Box::new(Gpt2Stream {
+            model: self,
+            caches: (0..self.config.n_layers)
+                .map(|_| KvCache::new(self.config.d_model))
+                .collect(),
+            scratch: DecodeScratch::new(),
+            pos: 0,
+        })
+    }
+}
+
+impl LanguageModel for Gpt2Lm {
     fn parameters(&self) -> Vec<Var> {
         self.named_parameters().into_iter().map(|(_, v)| v).collect()
     }
@@ -179,8 +212,58 @@ impl LanguageModel for Gpt2Lm {
         logits.cross_entropy(&batch.flat_targets(), batch.pad_id as usize)
     }
 
+    fn quantized(&self) -> Option<Box<dyn InferenceModel>> {
+        Some(Box::new(self.quantize()))
+    }
+}
+
+/// An int8 weight-quantized, inference-only GPT-2.
+///
+/// Built from a trained [`Gpt2Lm`] via [`Gpt2Lm::quantize`]. Holds plain
+/// tensors, not `Var`s — it cannot be trained, which is how the "training
+/// stays f32" rule is enforced by construction. Decoding uses the int8
+/// GEMM for all projections and an [`F16`] KV cache.
+pub struct QuantGpt2Lm {
+    name: String,
+    config: Gpt2Config,
+    /// f32 token embedding `[V, D]` (the lookup gathers single rows —
+    /// quantizing it would save no meaningful time and cost accuracy).
+    wte: Tensor,
+    /// The tied LM head, quantized `[V, D]` output-major.
+    wte_q: QuantizedMatrix,
+    /// f32 position embedding `[max_t, D]`.
+    wpe: Tensor,
+    blocks: Vec<QuantBlock>,
+    lnf_g: Tensor,
+    lnf_b: Tensor,
+}
+
+impl QuantGpt2Lm {
+    /// The config of the f32 model this was quantized from.
+    pub fn config(&self) -> &Gpt2Config {
+        &self.config
+    }
+}
+
+impl InferenceModel for QuantGpt2Lm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.config.vocab
+    }
+
+    fn max_context(&self) -> usize {
+        self.config.max_t
+    }
+
+    fn dtype(&self) -> DType {
+        DType::I8
+    }
+
     fn start_stream(&self) -> Box<dyn TokenStream + '_> {
-        Box::new(Gpt2Stream {
+        Box::new(QuantGpt2Stream {
             model: self,
             caches: (0..self.config.n_layers)
                 .map(|_| KvCache::new(self.config.d_model))
@@ -188,6 +271,43 @@ impl LanguageModel for Gpt2Lm {
             scratch: DecodeScratch::new(),
             pos: 0,
         })
+    }
+}
+
+/// Incremental decoding state for the quantized model: one f16 KV cache
+/// per block plus the shared attention scratch.
+struct QuantGpt2Stream<'m> {
+    model: &'m QuantGpt2Lm,
+    caches: Vec<KvCache<F16>>,
+    scratch: DecodeScratch,
+    pos: usize,
+}
+
+impl TokenStream for QuantGpt2Stream<'_> {
+    fn push(&mut self, token: u32) -> Tensor {
+        let push_start = obs::Clock::now();
+        let m = self.model;
+        let d = m.config.d_model;
+        assert!(
+            (token as usize) < m.config.vocab,
+            "token {token} out of vocab"
+        );
+        let pos_idx = self.pos.min(m.config.max_t - 1);
+        let tok = ops::embedding(&m.wte, &[token as usize]).reshape(&[d]);
+        let pos = ops::embedding(&m.wpe, &[pos_idx]).reshape(&[d]);
+        let mut x = ops::add(&tok, &pos);
+        for (blk, cache) in m.blocks.iter().zip(&mut self.caches) {
+            x = blk.forward_incremental(&x, m.config.n_heads, cache, &mut self.scratch, None);
+        }
+        self.pos += 1;
+        let (ln, _, _) = ops::layer_norm(&x.reshape(&[1, d]), &m.lnf_g, &m.lnf_b, 1e-5);
+        let out = qmatmul_transb(&ln, &m.wte_q).reshape(&[m.config.vocab]);
+        obs::static_histogram!("gpt2_quant_push_ns").observe(push_start.elapsed_ns());
+        out
+    }
+
+    fn position(&self) -> usize {
+        self.pos
     }
 }
 
@@ -330,6 +450,49 @@ mod tests {
             assert!(!l.has_non_finite(), "NaN at position {i}");
         }
         assert_eq!(s.position(), 40);
+    }
+
+    #[test]
+    fn quantized_stream_matches_trained_cycle() {
+        // The int8 model must preserve a confidently-learned prediction.
+        let m = tiny();
+        let params = m.parameters();
+        let mut opt = Adam::new(0.01);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            zero_grads(&params);
+            let loss = m.forward_loss(&toy_batch(), true, &mut rng);
+            loss.backward();
+            opt.step(&params);
+        }
+        let q = m.quantize();
+        assert_eq!(InferenceModel::name(&q), "tiny-gpt [int8]");
+        assert_eq!(InferenceModel::dtype(&q), DType::I8);
+        let mut s = InferenceModel::start_stream(&q);
+        s.push(2);
+        s.push(3);
+        let logits = s.push(4);
+        assert!(!logits.has_non_finite());
+        assert_eq!(ops::argmax_last(&logits), vec![5]);
+        // via the LanguageModel hook the same variant is reachable
+        let via_hook = LanguageModel::quantized(&m).expect("gpt2 offers int8");
+        assert_eq!(via_hook.dtype(), DType::I8);
+    }
+
+    #[test]
+    fn quantized_stream_is_deterministic() {
+        let m = tiny();
+        let q = m.quantize();
+        let run = || {
+            let mut s = InferenceModel::start_stream(&q);
+            let mut bits = Vec::new();
+            for i in 0..8 {
+                let l = s.push(2 + (i % 4) as u32);
+                bits.extend(l.data().iter().map(|v| v.to_bits()));
+            }
+            bits
+        };
+        assert_eq!(run(), run(), "quantized decode must be reproducible");
     }
 
     #[test]

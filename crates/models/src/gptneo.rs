@@ -10,10 +10,11 @@
 
 use ratatouille_util::rng::StdRng;
 use ratatouille_util::rng::SeedableRng;
-use ratatouille_tensor::{init, ops, Tensor, Var};
+use ratatouille_tensor::ops::{qmatmul_transb, quantize_per_row, QuantizedMatrix};
+use ratatouille_tensor::{init, ops, DType, Tensor, Var, F16};
 
-use crate::lm::{Batch, LanguageModel, TokenStream};
-use crate::transformer::Block;
+use crate::lm::{Batch, InferenceModel, LanguageModel, TokenStream};
+use crate::transformer::{Block, DecodeScratch, KvCache, QuantBlock};
 
 /// GPT-Neo hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +102,25 @@ impl GptNeoLm {
         i % 2 == 1
     }
 
+    /// Snapshot this model into an int8 weight-quantized inference-only
+    /// copy. Unlike the f32 stream (which recomputes the full forward per
+    /// token), the quantized variant decodes incrementally with per-layer
+    /// f16 KV caches; local layers attend through a trailing window of
+    /// cached positions, matching the training-time window mask.
+    pub fn quantize(&self) -> QuantGptNeoLm {
+        let wte = self.wte.value();
+        QuantGptNeoLm {
+            name: format!("{} [int8]", self.config.name),
+            wte_q: quantize_per_row(&wte),
+            wte,
+            wpe: self.wpe.value(),
+            blocks: self.blocks.iter().map(QuantBlock::from_block).collect(),
+            lnf_g: self.lnf_g.value(),
+            lnf_b: self.lnf_b.value(),
+            config: self.config.clone(),
+        }
+    }
+
     /// Block forward with windowed causal attention (pre-LN). Equivalent
     /// to [`Block::forward`] but masks scores outside the window before
     /// the softmax.
@@ -176,7 +196,7 @@ fn window_mask(bh: usize, t: usize, window: usize) -> Tensor {
     Tensor::from_vec(m, &[bh, t, t]).expect("mask shape")
 }
 
-impl LanguageModel for GptNeoLm {
+impl InferenceModel for GptNeoLm {
     fn name(&self) -> &str {
         &self.config.name
     }
@@ -189,6 +209,15 @@ impl LanguageModel for GptNeoLm {
         self.config.max_t
     }
 
+    fn start_stream(&self) -> Box<dyn TokenStream + '_> {
+        Box::new(GptNeoStream {
+            model: self,
+            history: Vec::new(),
+        })
+    }
+}
+
+impl LanguageModel for GptNeoLm {
     fn parameters(&self) -> Vec<Var> {
         self.named_parameters().into_iter().map(|(_, v)| v).collect()
     }
@@ -230,11 +259,100 @@ impl LanguageModel for GptNeoLm {
             .cross_entropy(&batch.flat_targets(), batch.pad_id as usize)
     }
 
+    fn quantized(&self) -> Option<Box<dyn InferenceModel>> {
+        Some(Box::new(self.quantize()))
+    }
+}
+
+/// An int8 weight-quantized, inference-only GPT-Neo.
+///
+/// Built via [`GptNeoLm::quantize`]. Holds plain tensors, not `Var`s, so
+/// it cannot be trained. Decoding is incremental (per-layer [`F16`] KV
+/// caches); odd layers attend only to the trailing
+/// [`GptNeoConfig::window`] cached positions.
+pub struct QuantGptNeoLm {
+    name: String,
+    config: GptNeoConfig,
+    /// f32 token embedding `[V, D]`.
+    wte: Tensor,
+    /// The tied LM head, quantized `[V, D]` output-major.
+    wte_q: QuantizedMatrix,
+    /// f32 position embedding `[max_t, D]`.
+    wpe: Tensor,
+    blocks: Vec<QuantBlock>,
+    lnf_g: Tensor,
+    lnf_b: Tensor,
+}
+
+impl QuantGptNeoLm {
+    /// The config of the f32 model this was quantized from.
+    pub fn config(&self) -> &GptNeoConfig {
+        &self.config
+    }
+}
+
+impl InferenceModel for QuantGptNeoLm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.config.vocab
+    }
+
+    fn max_context(&self) -> usize {
+        self.config.max_t
+    }
+
+    fn dtype(&self) -> DType {
+        DType::I8
+    }
+
     fn start_stream(&self) -> Box<dyn TokenStream + '_> {
-        Box::new(GptNeoStream {
+        Box::new(QuantGptNeoStream {
             model: self,
-            history: Vec::new(),
+            caches: (0..self.config.n_layers)
+                .map(|_| KvCache::new(self.config.d_model))
+                .collect(),
+            scratch: DecodeScratch::new(),
+            pos: 0,
         })
+    }
+}
+
+/// Incremental decoding state for the quantized GPT-Neo: one f16 KV cache
+/// per block plus the shared attention scratch.
+struct QuantGptNeoStream<'m> {
+    model: &'m QuantGptNeoLm,
+    caches: Vec<KvCache<F16>>,
+    scratch: DecodeScratch,
+    pos: usize,
+}
+
+impl TokenStream for QuantGptNeoStream<'_> {
+    fn push(&mut self, token: u32) -> Tensor {
+        let m = self.model;
+        let d = m.config.d_model;
+        assert!((token as usize) < m.config.vocab, "token out of vocab");
+        let pos_idx = self.pos.min(m.config.max_t - 1);
+        let tok = ops::embedding(&m.wte, &[token as usize]).reshape(&[d]);
+        let pos = ops::embedding(&m.wpe, &[pos_idx]).reshape(&[d]);
+        let mut x = ops::add(&tok, &pos);
+        for (i, (blk, cache)) in m.blocks.iter().zip(&mut self.caches).enumerate() {
+            let window = if i % 2 == 1 {
+                Some(m.config.window)
+            } else {
+                None
+            };
+            x = blk.forward_incremental(&x, m.config.n_heads, cache, &mut self.scratch, window);
+        }
+        self.pos += 1;
+        let (ln, _, _) = ops::layer_norm(&x.reshape(&[1, d]), &m.lnf_g, &m.lnf_b, 1e-5);
+        qmatmul_transb(&ln, &m.wte_q).reshape(&[m.config.vocab])
+    }
+
+    fn position(&self) -> usize {
+        self.pos
     }
 }
 
@@ -408,6 +526,39 @@ mod tests {
         loss.backward();
         for (name, p) in m.named_parameters() {
             assert!(p.grad().is_some(), "no grad for {name}");
+        }
+    }
+
+    #[test]
+    fn quantized_stream_matches_trained_cycle() {
+        // The quantized incremental path (f16 KV cache + windowed local
+        // layers) must reproduce the f32 stream's prediction on a
+        // confidently-learned cycle, past the local window boundary.
+        let m = tiny();
+        let params = m.parameters();
+        let mut opt = Adam::new(0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..120 {
+            zero_grads(&params);
+            let loss = m.forward_loss(&toy_batch(), true, &mut rng);
+            loss.backward();
+            opt.step(&params);
+        }
+        let q = m.quantize();
+        assert_eq!(InferenceModel::dtype(&q), DType::I8);
+        let mut s32 = m.start_stream();
+        let mut sq = InferenceModel::start_stream(&q);
+        // run past the window (4) so local layers actually truncate
+        for i in 0..10 {
+            let tok = 2 + (i % 4) as u32;
+            let l32 = s32.push(tok);
+            let lq = sq.push(tok);
+            assert!(!lq.has_non_finite(), "NaN at position {i}");
+            assert_eq!(
+                ops::argmax_last(&l32),
+                ops::argmax_last(&lq),
+                "prediction diverged at position {i}"
+            );
         }
     }
 }

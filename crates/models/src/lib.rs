@@ -30,9 +30,9 @@ pub mod sample;
 pub mod train;
 pub mod transformer;
 
-pub use gpt2::{Gpt2Config, Gpt2Lm};
-pub use gptneo::{GptNeoConfig, GptNeoLm};
-pub use lm::{Batch, LanguageModel, TokenStream};
+pub use gpt2::{Gpt2Config, Gpt2Lm, QuantGpt2Lm};
+pub use gptneo::{GptNeoConfig, GptNeoLm, QuantGptNeoLm};
+pub use lm::{Batch, InferenceModel, LanguageModel, TokenStream};
 pub use lstm::{LstmConfig, LstmLm};
 pub use registry::{ModelKind, ModelSpec, TABLE1_MODELS};
 pub use sample::{generate, SamplerConfig};

@@ -1,7 +1,7 @@
 //! The common language-model interface.
 
 use ratatouille_util::rng::StdRng;
-use ratatouille_tensor::{Tensor, Var};
+use ratatouille_tensor::{DType, Tensor, Var};
 
 /// A training batch: `inputs[b][t]` predicts `targets[b][t]`. All rows are
 /// padded to equal length with the pad id; padded target positions carry
@@ -60,9 +60,14 @@ impl Batch {
     }
 }
 
-/// An autoregressive language model trainable with this crate's trainer
-/// and decodable with its sampler.
-pub trait LanguageModel {
+/// The decode-side view of a model: everything the sampler needs, and
+/// nothing the trainer needs.
+///
+/// Every [`LanguageModel`] is an `InferenceModel` (supertrait). Quantized
+/// inference-only models implement *only* this trait — they have no `Var`
+/// parameters and no `forward_loss`, which is how "training stays f32" is
+/// enforced statically: there is no trainable surface on an int8 model.
+pub trait InferenceModel {
     /// Human-readable model name (Table I row label).
     fn name(&self) -> &str;
 
@@ -72,6 +77,19 @@ pub trait LanguageModel {
     /// Maximum context length the model accepts.
     fn max_context(&self) -> usize;
 
+    /// The weight storage dtype this model decodes with.
+    fn dtype(&self) -> DType {
+        DType::F32
+    }
+
+    /// Begin incremental decoding. Pushing a token returns the logits for
+    /// the *next* position.
+    fn start_stream(&self) -> Box<dyn TokenStream + '_>;
+}
+
+/// An autoregressive language model trainable with this crate's trainer
+/// and decodable with its sampler.
+pub trait LanguageModel: InferenceModel {
     /// All trainable parameters, in a stable order.
     fn parameters(&self) -> Vec<Var>;
 
@@ -82,13 +100,19 @@ pub trait LanguageModel {
     /// `train` enables dropout; `rng` drives dropout masks.
     fn forward_loss(&self, batch: &Batch, train: bool, rng: &mut StdRng) -> Var;
 
-    /// Begin incremental decoding. Pushing a token returns the logits for
-    /// the *next* position.
-    fn start_stream(&self) -> Box<dyn TokenStream + '_>;
-
     /// Total parameter count (model-size reporting).
     fn num_params(&self) -> usize {
         self.parameters().iter().map(|p| p.value().numel()).sum()
+    }
+
+    /// A weight-quantized (int8) inference-only variant of this model, if
+    /// the architecture supports one. Quantization copies the weights, so
+    /// the returned model is self-contained and `'static`.
+    ///
+    /// The default is `None`: LSTMs and any model without a quantized
+    /// path simply don't offer one, and callers fall back to f32.
+    fn quantized(&self) -> Option<Box<dyn InferenceModel>> {
+        None
     }
 }
 

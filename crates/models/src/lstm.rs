@@ -11,7 +11,7 @@ use ratatouille_util::rng::StdRng;
 use ratatouille_util::rng::SeedableRng;
 use ratatouille_tensor::{init, ops, Tensor, Var};
 
-use crate::lm::{Batch, LanguageModel, TokenStream};
+use crate::lm::{Batch, InferenceModel, LanguageModel, TokenStream};
 
 /// LSTM LM hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,7 +166,7 @@ impl LstmLm {
     }
 }
 
-impl LanguageModel for LstmLm {
+impl InferenceModel for LstmLm {
     fn name(&self) -> &str {
         &self.config.name
     }
@@ -179,6 +179,18 @@ impl LanguageModel for LstmLm {
         self.config.max_t
     }
 
+    fn start_stream(&self) -> Box<dyn TokenStream + '_> {
+        let h = self.config.d_hidden;
+        Box::new(LstmStream {
+            model: self,
+            hs: vec![Tensor::zeros(&[h]); self.layers.len()],
+            cs: vec![Tensor::zeros(&[h]); self.layers.len()],
+            pos: 0,
+        })
+    }
+}
+
+impl LanguageModel for LstmLm {
     fn parameters(&self) -> Vec<Var> {
         self.named_parameters().into_iter().map(|(_, v)| v).collect()
     }
@@ -238,16 +250,6 @@ impl LanguageModel for LstmLm {
         let bt_h = stacked.permute(&[1, 0, 2]).reshape(&[bsz * t, h]);
         let logits = bt_h.matmul(&self.w_out).add_broadcast(&self.b_out); // [B*T, V]
         logits.cross_entropy(&batch.flat_targets(), batch.pad_id as usize)
-    }
-
-    fn start_stream(&self) -> Box<dyn TokenStream + '_> {
-        let h = self.config.d_hidden;
-        Box::new(LstmStream {
-            model: self,
-            hs: vec![Tensor::zeros(&[h]); self.layers.len()],
-            cs: vec![Tensor::zeros(&[h]); self.layers.len()],
-            pos: 0,
-        })
     }
 }
 

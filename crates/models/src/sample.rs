@@ -10,7 +10,7 @@ use ratatouille_util::rng::StdRng;
 use ratatouille_util::rng::RngExt;
 use ratatouille_tensor::{ops, Tensor};
 
-use crate::lm::LanguageModel;
+use crate::lm::InferenceModel;
 
 /// Decoding configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,14 +57,32 @@ impl SamplerConfig {
 
 /// Autoregressively generate a continuation of `prompt`. Returns only the
 /// generated tokens (without the prompt, without the stop token).
-pub fn generate(
-    model: &dyn LanguageModel,
+///
+/// Accepts any [`InferenceModel`] — trained f32 models and quantized
+/// inference-only variants alike (`&dyn LanguageModel` call sites keep
+/// working through the supertrait). Besides the aggregate
+/// `decode_token_ns` series, per-token latency is also recorded under a
+/// `{model=…,dtype=…}` labeled series so one `/metrics` scrape separates
+/// dtype variants; cardinality stays bounded because model names come
+/// from the closed registry and dtypes from the closed [`DType`] enum.
+pub fn generate<M: InferenceModel + ?Sized>(
+    model: &M,
     prompt: &[u32],
     cfg: &SamplerConfig,
     rng: &mut StdRng,
 ) -> Vec<u32> {
     assert!(!prompt.is_empty(), "generate requires a non-empty prompt");
     let _span = obs::span!("decode");
+    // Labeled handles are resolved once per call, not per token: the
+    // static_* macros cache per call site, which a dynamic label string
+    // would defeat.
+    let labels = format!(
+        "{{model=\"{}\",dtype=\"{}\"}}",
+        metric_label(model.name()),
+        model.dtype().name()
+    );
+    let labeled_token_ns = obs::metrics::histogram(&format!("decode_token_ns{labels}"));
+    let labeled_tokens_total = obs::metrics::counter(&format!("decode_tokens_total{labels}"));
     let mut stream = model.start_stream();
     let mut logits: Option<Tensor> = None;
     let prefill_start = obs::Clock::now();
@@ -84,11 +102,30 @@ pub fn generate(
         }
         out.push(next);
         logits = Some(stream.push(next));
-        obs::static_histogram!("decode_token_ns").observe(token_start.elapsed_ns());
+        let elapsed = token_start.elapsed_ns();
+        obs::static_histogram!("decode_token_ns").observe(elapsed);
         obs::static_counter!("decode_tokens_total").inc();
+        labeled_token_ns.observe(elapsed);
+        labeled_tokens_total.inc();
         drop(token_span);
     }
     out
+}
+
+/// Sanitize a model display name into a Prometheus label value:
+/// lowercase alphanumerics pass through, everything else collapses to
+/// `-` (runs collapse to one, edges trimmed). `"GPT-2 medium [int8]"`
+/// becomes `"gpt-2-medium-int8"`.
+pub fn metric_label(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
 }
 
 /// Pick the next token from raw logits according to the config.
@@ -247,6 +284,40 @@ mod tests {
             (0..20).map(|_| select_token(&l, &cfg, &mut rng)).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metric_label_sanitizes() {
+        assert_eq!(metric_label("GPT-2 medium [int8]"), "gpt-2-medium-int8");
+        assert_eq!(metric_label("DistilGPT2"), "distilgpt2");
+        assert_eq!(metric_label("GPT-Neo (future work)"), "gpt-neo-future-work");
+    }
+
+    #[test]
+    fn generate_works_on_quantized_models() {
+        use crate::gpt2::{Gpt2Config, Gpt2Lm};
+        use crate::lm::LanguageModel;
+        let m = Gpt2Lm::new(Gpt2Config {
+            name: "tiny-gpt".into(),
+            vocab: 16,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_t: 16,
+            dropout: 0.0,
+            seed: 5,
+        });
+        let q = LanguageModel::quantized(&m).expect("gpt2 has an int8 variant");
+        let cfg = SamplerConfig {
+            max_tokens: 5,
+            greedy: true,
+            stop_token: None,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = generate(q.as_ref(), &[2], &cfg, &mut rng);
+        assert_eq!(out.len(), 5);
     }
 
     #[test]

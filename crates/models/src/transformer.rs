@@ -8,7 +8,8 @@
 //!   was generation latency — the cache is the fix).
 
 use ratatouille_util::rng::StdRng;
-use ratatouille_tensor::{init, ops, Tensor, Var};
+use ratatouille_tensor::ops::{qmatmul_transb, quantize_per_row, QuantizedMatrix};
+use ratatouille_tensor::{init, ops, Element, Tensor, Var, F16};
 
 /// One transformer block's parameters.
 pub struct Block {
@@ -143,11 +144,11 @@ impl Block {
     /// previously-computed K and V rows for this layer and is appended to.
     /// `scratch` carries the per-stream score/prob/context buffers so the
     /// attention inner loop allocates nothing per generated token.
-    pub fn forward_incremental(
+    pub fn forward_incremental<E: Element>(
         &self,
         x: &Tensor,
         heads: usize,
-        cache: &mut KvCache,
+        cache: &mut KvCache<E>,
         scratch: &mut DecodeScratch,
     ) -> Tensor {
         let d = x.numel();
@@ -160,36 +161,8 @@ impl Block {
         let q = &qkv_d[..d];
         cache.push_slices(&qkv_d[d..2 * d], &qkv_d[2 * d..3 * d]);
 
-        let t = cache.len();
         let scale = 1.0 / (dh as f32).sqrt();
-        scratch.resize(heads, t, d);
-        // Fused score pass: one sweep over the K cache; each cached row is
-        // read once, all heads scored against it.
-        for pos in 0..t {
-            let k_row = cache.k_row(pos);
-            for h in 0..heads {
-                scratch.scores[h * t + pos] =
-                    ops::dot(&q[h * dh..(h + 1) * dh], &k_row[h * dh..(h + 1) * dh]) * scale;
-            }
-        }
-        for h in 0..heads {
-            ops::softmax_row(
-                &scratch.scores[h * t..(h + 1) * t],
-                &mut scratch.probs[h * t..(h + 1) * t],
-            );
-        }
-        // Fused context pass: one sweep over the V cache.
-        scratch.ctx.fill(0.0);
-        for pos in 0..t {
-            let v_row = cache.v_row(pos);
-            for h in 0..heads {
-                ops::axpy(
-                    scratch.probs[h * t + pos],
-                    &v_row[h * dh..(h + 1) * dh],
-                    &mut scratch.ctx[h * dh..(h + 1) * dh],
-                );
-            }
-        }
+        attend(q, heads, dh, 0, cache, scratch, scale);
         // attn = ctx @ W_o + b_o, streamed row-wise through W_o so the
         // context vector never round-trips through a temporary tensor.
         let w_o = self.w_o.value();
@@ -213,6 +186,154 @@ impl Block {
             &self.b_up.value(),
         ));
         let mlp = ops::add_broadcast(&ops::matmul(&up, &self.w_down.value()), &self.b_down.value());
+        ops::add(&x1, &mlp).reshape(&[d])
+    }
+}
+
+/// The fused incremental-attention kernel, generic over the KV-cache
+/// storage dtype.
+///
+/// Scores `q` (the current position's f32 query, all heads concatenated)
+/// against cached positions `start..len`, softmaxes per head, and
+/// accumulates the context vector into `scratch.ctx`. `start` is 0 for
+/// full causal attention; local-attention layers (GPT-Neo) pass
+/// `len - window` so each position only attends to the trailing window.
+///
+/// Each dtype's inner loops come from [`Element::dot_with_f32`] /
+/// [`Element::axpy_into_f32`]; for `E = f32` these are exactly the
+/// `ops::dot` / `ops::axpy` kernels the pre-generic code called, so the
+/// f32 decode path is bit-identical to what it was.
+fn attend<E: Element>(
+    q: &[f32],
+    heads: usize,
+    dh: usize,
+    start: usize,
+    cache: &KvCache<E>,
+    scratch: &mut DecodeScratch,
+    scale: f32,
+) {
+    let t = cache.len();
+    debug_assert!(start < t, "attention window must cover the current token");
+    let tw = t - start;
+    scratch.resize(heads, tw, heads * dh);
+    // Fused score pass: one sweep over the K cache; each cached row is
+    // read once, all heads scored against it.
+    for pos in start..t {
+        let k_row = cache.k_row(pos);
+        for h in 0..heads {
+            scratch.scores[h * tw + (pos - start)] =
+                E::dot_with_f32(&q[h * dh..(h + 1) * dh], &k_row[h * dh..(h + 1) * dh]) * scale;
+        }
+    }
+    for h in 0..heads {
+        ops::softmax_row(
+            &scratch.scores[h * tw..(h + 1) * tw],
+            &mut scratch.probs[h * tw..(h + 1) * tw],
+        );
+    }
+    // Fused context pass: one sweep over the V cache.
+    scratch.ctx.fill(0.0);
+    for pos in start..t {
+        let v_row = cache.v_row(pos);
+        for h in 0..heads {
+            E::axpy_into_f32(
+                scratch.probs[h * tw + (pos - start)],
+                &v_row[h * dh..(h + 1) * dh],
+                &mut scratch.ctx[h * dh..(h + 1) * dh],
+            );
+        }
+    }
+}
+
+/// An int8 weight-quantized transformer block for inference.
+///
+/// Each weight matrix is quantized once (per output row, symmetric,
+/// scale = `max_abs / 127`) and stored output-major so the decode matmul
+/// is a row-wise int8 dot against the f32 activation row. Layer norms and
+/// biases stay f32 — they are tiny and precision-critical. The KV cache
+/// for quantized decode stores [`F16`], halving cache memory traffic.
+pub struct QuantBlock {
+    ln1_g: Tensor,
+    ln1_b: Tensor,
+    /// QKV projection, quantized `[3D, D]` (output-major).
+    w_qkv: QuantizedMatrix,
+    b_qkv: Tensor,
+    /// Attention output projection, quantized `[D, D]` (output-major).
+    w_o: QuantizedMatrix,
+    b_o: Tensor,
+    ln2_g: Tensor,
+    ln2_b: Tensor,
+    /// MLP up-projection, quantized `[F, D]` (output-major).
+    w_up: QuantizedMatrix,
+    b_up: Tensor,
+    /// MLP down-projection, quantized `[D, F]` (output-major).
+    w_down: QuantizedMatrix,
+    b_down: Tensor,
+}
+
+impl QuantBlock {
+    /// Quantize an f32 [`Block`]'s weights. Weight matrices are stored
+    /// `[in, out]` for training; the quantized copies are transposed to
+    /// output-major `[out, in]` so each output element is one int8 row dot.
+    pub fn from_block(block: &Block) -> Self {
+        let q = |w: &Var| quantize_per_row(&ops::transpose2d(&w.value()));
+        QuantBlock {
+            ln1_g: block.ln1_g.value(),
+            ln1_b: block.ln1_b.value(),
+            w_qkv: q(&block.w_qkv),
+            b_qkv: block.b_qkv.value(),
+            w_o: q(&block.w_o),
+            b_o: block.b_o.value(),
+            ln2_g: block.ln2_g.value(),
+            ln2_b: block.ln2_b.value(),
+            w_up: q(&block.w_up),
+            b_up: block.b_up.value(),
+            w_down: q(&block.w_down),
+            b_down: block.b_down.value(),
+        }
+    }
+
+    /// Incremental quantized forward for one new token (mirrors
+    /// [`Block::forward_incremental`]).
+    ///
+    /// `window` limits attention to the trailing `window` positions
+    /// (GPT-Neo local layers); `None` is full causal attention.
+    pub fn forward_incremental(
+        &self,
+        x: &Tensor,
+        heads: usize,
+        cache: &mut KvCache<F16>,
+        scratch: &mut DecodeScratch,
+        window: Option<usize>,
+    ) -> Tensor {
+        let d = x.numel();
+        let dh = d / heads;
+        let x_row = x.reshape(&[1, d]);
+
+        let (ln, _, _) = ops::layer_norm(&x_row, &self.ln1_g, &self.ln1_b, 1e-5);
+        let qkv = ops::add_broadcast(&qmatmul_transb(&ln, &self.w_qkv), &self.b_qkv);
+        let qkv_d = qkv.data();
+        let q = &qkv_d[..d];
+        cache.push_slices(&qkv_d[d..2 * d], &qkv_d[2 * d..3 * d]);
+
+        let t = cache.len();
+        let start = window.map_or(0, |w| t.saturating_sub(w));
+        let scale = 1.0 / (dh as f32).sqrt();
+        attend(q, heads, dh, start, cache, scratch, scale);
+
+        let ctx_row = Tensor::from_vec(scratch.ctx.clone(), &[1, d]).expect("ctx is [d]");
+        let attn = ops::add_broadcast(&qmatmul_transb(&ctx_row, &self.w_o), &self.b_o);
+        let x1 = ops::add(&x_row, &attn);
+
+        let (ln2, _, _) = ops::layer_norm(&x1, &self.ln2_g, &self.ln2_b, 1e-5);
+        // `gelu_fast`: a few-ULP tanh approximation, far below the int8
+        // quantization error already accepted on this path. The f32 block
+        // keeps the exact `gelu`, so f32 decode numerics are untouched.
+        let up = ops::gelu_fast(&ops::add_broadcast(
+            &qmatmul_transb(&ln2, &self.w_up),
+            &self.b_up,
+        ));
+        let mlp = ops::add_broadcast(&qmatmul_transb(&up, &self.w_down), &self.b_down);
         ops::add(&x1, &mlp).reshape(&[d])
     }
 }
@@ -246,15 +367,21 @@ impl DecodeScratch {
 
 /// Per-layer key/value cache for incremental decoding: flat row-major
 /// `[T, D]` buffers that grow as tokens are pushed.
+///
+/// Generic over the storage dtype: the f32 decode path uses the default
+/// `KvCache<f32>` (rows stored verbatim, bit-identical to the pre-generic
+/// cache); quantized decode uses `KvCache<F16>`, which narrows each
+/// incoming row element with round-to-nearest-even and halves cache
+/// memory. New rows always arrive as f32 (the block computes in f32).
 #[derive(Debug, Clone, Default)]
-pub struct KvCache {
-    k: Vec<f32>,
-    v: Vec<f32>,
+pub struct KvCache<E: Element = f32> {
+    k: Vec<E>,
+    v: Vec<E>,
     d: usize,
     len: usize,
 }
 
-impl KvCache {
+impl<E: Element> KvCache<E> {
     /// An empty cache for width-`d` keys/values.
     pub fn new(d: usize) -> Self {
         KvCache {
@@ -278,16 +405,16 @@ impl KvCache {
     fn push_slices(&mut self, k_row: &[f32], v_row: &[f32]) {
         assert_eq!(k_row.len(), self.d);
         assert_eq!(v_row.len(), self.d);
-        self.k.extend_from_slice(k_row);
-        self.v.extend_from_slice(v_row);
+        self.k.extend(k_row.iter().map(|&x| E::from_f32(x)));
+        self.v.extend(v_row.iter().map(|&x| E::from_f32(x)));
         self.len += 1;
     }
 
-    fn k_row(&self, pos: usize) -> &[f32] {
+    fn k_row(&self, pos: usize) -> &[E] {
         &self.k[pos * self.d..(pos + 1) * self.d]
     }
 
-    fn v_row(&self, pos: usize) -> &[f32] {
+    fn v_row(&self, pos: usize) -> &[E] {
         &self.v[pos * self.d..(pos + 1) * self.d]
     }
 }
@@ -354,7 +481,7 @@ mod tests {
             .forward(&Var::constant(full_in), 4, 0.0, false, &mut rng)
             .value();
 
-        let mut cache = KvCache::new(d);
+        let mut cache = KvCache::<f32>::new(d);
         let mut scratch = DecodeScratch::new();
         for (i, x) in xs.iter().enumerate() {
             let inc = block.forward_incremental(x, 4, &mut cache, &mut scratch);
@@ -368,6 +495,57 @@ mod tests {
             }
         }
         assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn quantized_incremental_tracks_f32_block() {
+        // int8 weights + f16 KV cache should stay close to the f32 path;
+        // the residual stream keeps the error small and bounded.
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = 16;
+        let block = Block::new(&mut rng, d, 32, 1);
+        let qblock = QuantBlock::from_block(&block);
+        let mut c32 = KvCache::<f32>::new(d);
+        let mut cq = KvCache::<F16>::new(d);
+        let mut s32 = DecodeScratch::new();
+        let mut sq = DecodeScratch::new();
+        for i in 0..6 {
+            let x = init::randn(&mut rng, &[d], 1.0);
+            let y32 = block.forward_incremental(&x, 4, &mut c32, &mut s32);
+            let yq = qblock.forward_incremental(&x, 4, &mut cq, &mut sq, None);
+            for j in 0..d {
+                let (a, b) = (y32.data()[j], yq.data()[j]);
+                assert!(
+                    (a - b).abs() < 0.05,
+                    "pos {i} dim {j} diverged: f32={a} int8={b}"
+                );
+            }
+        }
+        assert_eq!(cq.len(), 6);
+    }
+
+    #[test]
+    fn quant_block_window_limits_attention() {
+        // With a window of 1 each position attends only to itself, so the
+        // output must differ from full attention once history exists —
+        // and stay finite.
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = 8;
+        let block = Block::new(&mut rng, d, 32, 1);
+        let qblock = QuantBlock::from_block(&block);
+        let xs: Vec<Tensor> = (0..3).map(|_| init::randn(&mut rng, &[d], 1.0)).collect();
+        let run = |window: Option<usize>| {
+            let mut cache = KvCache::<F16>::new(d);
+            let mut scratch = DecodeScratch::new();
+            xs.iter()
+                .map(|x| qblock.forward_incremental(x, 2, &mut cache, &mut scratch, window))
+                .collect::<Vec<_>>()
+        };
+        let full = run(None);
+        let windowed = run(Some(1));
+        assert_eq!(full[0], windowed[0], "first token has no history");
+        assert!(!windowed[2].has_non_finite());
+        assert_ne!(full[2], windowed[2], "window had no effect");
     }
 
     #[test]

@@ -343,6 +343,17 @@ pub fn render_prometheus() -> String {
                 out.push_str(&format!("{name} {}\n", fmt_f64(g.get())));
             }
             Metric::Histogram(h) => {
+                // Inline labels from the series name must survive on every
+                // emitted line: `le` merges into the existing label set on
+                // bucket lines, `_sum`/`_count` carry the set verbatim.
+                let labels = &name[fam.len()..];
+                let bucket_labels = |le: &str| {
+                    if labels.is_empty() {
+                        format!("{{le=\"{le}\"}}")
+                    } else {
+                        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+                    }
+                };
                 let mut cum = 0u64;
                 for idx in 0..BUCKETS {
                     let c = h.buckets[idx].load(Ordering::Relaxed);
@@ -351,13 +362,13 @@ pub fn render_prometheus() -> String {
                     }
                     cum += c;
                     out.push_str(&format!(
-                        "{fam}_bucket{{le=\"{}\"}} {cum}\n",
-                        bucket_upper(idx)
+                        "{fam}_bucket{} {cum}\n",
+                        bucket_labels(&bucket_upper(idx).to_string())
                     ));
                 }
-                out.push_str(&format!("{fam}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
-                out.push_str(&format!("{fam}_sum {}\n", h.sum()));
-                out.push_str(&format!("{fam}_count {}\n", h.count()));
+                out.push_str(&format!("{fam}_bucket{} {}\n", bucket_labels("+Inf"), h.count()));
+                out.push_str(&format!("{fam}_sum{labels} {}\n", h.sum()));
+                out.push_str(&format!("{fam}_count{labels} {}\n", h.count()));
             }
         }
     }
@@ -457,6 +468,27 @@ mod tests {
         );
         assert!(text.contains("obs_test_labeled_total{class=\"2xx\"} 1"));
         assert!(text.contains("obs_test_labeled_total{class=\"5xx\"} 2"));
+    }
+
+    #[test]
+    fn labeled_histogram_keeps_labels_on_every_line() {
+        histogram("obs_test_labeled_h{model=\"gpt2\",dtype=\"int8\"}").observe(17);
+        let text = render_prometheus();
+        assert_eq!(text.matches("# TYPE obs_test_labeled_h histogram").count(), 1);
+        // bucket lines merge `le` into the existing label set…
+        assert!(
+            text.contains("obs_test_labeled_h_bucket{model=\"gpt2\",dtype=\"int8\",le=\"+Inf\"} 1"),
+            "missing merged +Inf bucket in:\n{text}"
+        );
+        assert!(text.contains("obs_test_labeled_h_bucket{model=\"gpt2\",dtype=\"int8\",le=\""));
+        // …and _sum/_count carry the label set verbatim
+        assert!(text.contains("obs_test_labeled_h_sum{model=\"gpt2\",dtype=\"int8\"} 17"));
+        assert!(text.contains("obs_test_labeled_h_count{model=\"gpt2\",dtype=\"int8\"} 1"));
+        // an unlabeled histogram still renders bare le-only labels
+        histogram("obs_test_unlabeled_h").observe(3);
+        let text = render_prometheus();
+        assert!(text.contains("obs_test_unlabeled_h_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("obs_test_unlabeled_h_sum 3"));
     }
 
     #[test]

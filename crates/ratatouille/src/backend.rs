@@ -14,7 +14,7 @@ use ratatouille_util::rng::SeedableRng;
 use ratatouille_eval::structure::validate_tagged_recipe;
 use ratatouille_models::registry::{build_model, ModelKind};
 use ratatouille_models::sample::{generate, SamplerConfig};
-use ratatouille_models::LanguageModel;
+use ratatouille_models::{InferenceModel, LanguageModel};
 use ratatouille_serving::api::{GeneratedRecipe, RecipeBackend, RecipeBackendFactory};
 use ratatouille_tensor::serialize::TensorMap;
 use ratatouille_tokenizers::{special, Tokenizer};
@@ -24,6 +24,10 @@ use crate::pipeline::{prompt_for, TrainedModel};
 /// A serving replica: one model + tokenizer + decoding state.
 pub struct ModelBackend {
     model: Box<dyn LanguageModel>,
+    /// The int8 weight-quantized variant, when the architecture offers
+    /// one (GPT-2/GPT-Neo; LSTMs serve f32 only). Quantized once at
+    /// replica construction, not per request.
+    quant: Option<Box<dyn InferenceModel>>,
     tokenizer: Box<dyn Tokenizer>,
     sampler: SamplerConfig,
     rng: StdRng,
@@ -41,9 +45,11 @@ impl ModelBackend {
     ) -> ModelBackend {
         let model = build_model(kind, tokenizer.vocab_size());
         load_weights(model.as_ref(), weights);
+        let quant = model.quantized();
         let max_tokens = if kind == ModelKind::CharLstm { 1100 } else { 260 };
         ModelBackend {
             model,
+            quant,
             tokenizer: tokenizer.clone_box(),
             sampler,
             rng: StdRng::seed_from_u64(seed),
@@ -60,6 +66,10 @@ impl ModelBackend {
 
 impl RecipeBackend for ModelBackend {
     fn generate(&mut self, ingredients: &[String]) -> GeneratedRecipe {
+        self.generate_with_dtype(ingredients, "f32")
+    }
+
+    fn generate_with_dtype(&mut self, ingredients: &[String], dtype: &str) -> GeneratedRecipe {
         let prompt_text = prompt_for(ingredients);
         let prompt = self.tokenizer.encode(&prompt_text);
         let cfg = SamplerConfig {
@@ -67,7 +77,10 @@ impl RecipeBackend for ModelBackend {
             max_tokens: self.max_tokens,
             ..self.sampler.clone()
         };
-        let continuation = generate(self.model.as_ref(), &prompt, &cfg, &mut self.rng);
+        let continuation = match (&self.quant, dtype) {
+            (Some(q), "int8") => generate(q.as_ref(), &prompt, &cfg, &mut self.rng),
+            _ => generate(self.model.as_ref(), &prompt, &cfg, &mut self.rng),
+        };
         let mut tagged = prompt_text;
         tagged.push_str(&self.tokenizer.decode(&continuation));
         tagged.push_str(special::RECIPE_END);
@@ -81,6 +94,14 @@ impl RecipeBackend for ModelBackend {
             instructions: report.instructions.clone(),
             well_formed: report.valid,
         }
+    }
+
+    fn dtypes(&self) -> Vec<String> {
+        let mut out = vec!["f32".to_string()];
+        if let Some(q) = &self.quant {
+            out.push(q.dtype().name().to_string());
+        }
+        out
     }
 
     fn model_name(&self) -> String {
@@ -196,6 +217,39 @@ mod tests {
             replica.generate(&["rice".into()]).title
         });
         assert!(!handle.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn lstm_backend_is_f32_only() {
+        let t = trained();
+        let factory = t.backend_factory();
+        let replica = factory(0);
+        assert_eq!(replica.dtypes(), vec!["f32"]);
+    }
+
+    #[test]
+    fn gpt2_backend_serves_int8() {
+        let mut cfg = PipelineConfig::small();
+        cfg.corpus.num_recipes = 60;
+        let p = Pipeline::prepare(cfg);
+        let t = p.train(
+            ModelKind::DistilGpt2,
+            Some(TrainConfig {
+                steps: 2,
+                batch_size: 2,
+                ..Default::default()
+            }),
+        );
+        let factory = t.backend_factory();
+        let mut replica = factory(0);
+        assert_eq!(replica.dtypes(), vec!["f32", "int8"]);
+        let out = replica.generate_with_dtype(&["flour".into(), "water".into()], "int8");
+        assert!(!out.title.is_empty());
+        // the quantized pipeline helper produces tagged text too
+        let tagged = t
+            .generate_tagged_quantized(&["flour".into()], 7)
+            .expect("gpt2 quantizes");
+        assert!(tagged.contains("flour"));
     }
 
     #[test]

@@ -147,6 +147,27 @@ impl TrainedModel {
         text
     }
 
+    /// Like [`Self::generate_tagged`] but decoded with the model's int8
+    /// weight-quantized variant, when the architecture offers one
+    /// (`None` for LSTMs). Same seed and sampler settings as the f32
+    /// path, so f32-vs-int8 deltas isolate the quantization effect.
+    pub fn generate_tagged_quantized(&self, ingredients: &[String], seed: u64) -> Option<String> {
+        let quant = self.spec.model.quantized()?;
+        let prompt_text = prompt_for(ingredients);
+        let prompt = self.spec.tokenizer.encode(&prompt_text);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SamplerConfig {
+            stop_token: Some(self.spec.tokenizer.eos_id()),
+            max_tokens: generation_budget(self.spec.kind),
+            ..self.sampler.clone()
+        };
+        let continuation = generate(quant.as_ref(), &prompt, &cfg, &mut rng);
+        let mut text = prompt_text;
+        text.push_str(&self.spec.tokenizer.decode(&continuation));
+        text.push_str(special::RECIPE_END);
+        Some(text)
+    }
+
     /// Deterministic high-likelihood generation via beam search (no
     /// sampling seed; the output is a pure function of the weights).
     pub fn generate_tagged_beam(&self, ingredients: &[String], beam_width: usize) -> String {

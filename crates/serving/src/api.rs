@@ -79,6 +79,21 @@ pub trait RecipeBackend {
 
     /// Model card name ("GPT-2 medium").
     fn model_name(&self) -> String;
+
+    /// Generate with a requested weight dtype (one of [`Self::dtypes`]).
+    /// The default ignores `dtype`: backends without precision variants
+    /// always serve their native weights.
+    fn generate_with_dtype(&mut self, ingredients: &[String], dtype: &str) -> GeneratedRecipe {
+        let _ = dtype;
+        self.generate(ingredients)
+    }
+
+    /// The weight dtypes this backend can serve; the first entry is the
+    /// default when a request names none. The server validates
+    /// `?dtype=…` against this set at request time (400 otherwise).
+    fn dtypes(&self) -> Vec<String> {
+        vec!["f32".to_string()]
+    }
 }
 
 /// Thread-safe factory producing per-worker backend replicas.
@@ -93,11 +108,13 @@ pub struct ApiServer {
 
 struct GenJob {
     ingredients: Vec<String>,
+    dtype: String,
 }
 
 struct GenOut {
     recipe: GeneratedRecipe,
     model: String,
+    dtype: String,
     latency_ms: f64,
 }
 
@@ -112,8 +129,11 @@ impl ApiServer {
         queue_cap: usize,
         factory: RecipeBackendFactory,
     ) -> std::io::Result<ApiServer> {
-        // Sniff the model name from a throwaway replica.
-        let model_name = factory(usize::MAX).model_name();
+        // Sniff the model card from a throwaway replica.
+        let probe = factory(usize::MAX);
+        let model_name = probe.model_name();
+        let dtypes = Arc::new(probe.dtypes());
+        drop(probe);
 
         let pool: Arc<WorkerPool<GenJob, GenOut>> = Arc::new(WorkerPool::new(
             workers,
@@ -122,12 +142,13 @@ impl ApiServer {
                 let mut backend = factory(wi);
                 move |job: GenJob| {
                     let start = obs::Clock::now();
-                    let recipe = backend.generate(&job.ingredients);
+                    let recipe = backend.generate_with_dtype(&job.ingredients, &job.dtype);
                     let ns = start.elapsed_ns();
                     obs::static_histogram!("generate_latency_ns").observe(ns);
                     GenOut {
                         recipe,
                         model: backend.model_name(),
+                        dtype: job.dtype,
                         latency_ms: ns as f64 / 1e6,
                     }
                 }
@@ -135,6 +156,8 @@ impl ApiServer {
         )?);
 
         let model_for_routes = model_name.clone();
+        let dtypes_for_routes: Vec<String> = dtypes.to_vec();
+        let dtypes_for_gen = Arc::clone(&dtypes);
         let pool_for_gen = Arc::clone(&pool);
         let worker_count = pool.workers();
         let stats = Arc::new(ApiStats::default());
@@ -152,6 +175,7 @@ impl ApiServer {
             .route("GET", "/api/models", move |_req| {
                 let body = Json::object(vec![
                     ("models", Json::string_array(&[model_for_routes.as_str()])),
+                    ("dtypes", Json::string_array(&dtypes_for_routes)),
                 ]);
                 Response::json(StatusCode::Ok, body.to_string())
             })
@@ -162,7 +186,7 @@ impl ApiServer {
                 )
             })
             .route("POST", "/api/generate", move |req| {
-                handle_generate(req, &pool_for_gen, &stats_for_gen)
+                handle_generate(req, &pool_for_gen, &stats_for_gen, &dtypes_for_gen)
             })
             .route("GET", "/healthz", |_req| {
                 Response::text(StatusCode::Ok, "ok")
@@ -205,12 +229,37 @@ impl ApiServer {
     }
 }
 
+/// First value for `key` in a `k=v&k2=v2` query string.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
 fn handle_generate(
     req: &Request,
     pool: &WorkerPool<GenJob, GenOut>,
     stats: &ApiStats,
+    dtypes: &[String],
 ) -> Response {
     stats.requests.fetch_add(1, Ordering::Relaxed);
+    let default_dtype = dtypes.first().map(String::as_str).unwrap_or("f32");
+    let dtype = query_param(&req.query, "dtype").unwrap_or(default_dtype);
+    if !dtypes.iter().any(|d| d == dtype) {
+        stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            StatusCode::BadRequest,
+            Json::object(vec![(
+                "error",
+                Json::string(format!(
+                    "unsupported dtype `{dtype}`; this model serves: {}",
+                    dtypes.join(", ")
+                )),
+            )])
+            .to_string(),
+        );
+    }
     let parsed = match Json::parse(&req.body_str()) {
         Ok(v) => v,
         Err(e) => {
@@ -237,7 +286,10 @@ fn handle_generate(
             .to_string(),
         );
     }
-    match pool.execute(GenJob { ingredients }) {
+    match pool.execute(GenJob {
+        ingredients,
+        dtype: dtype.to_string(),
+    }) {
         Ok(out) => {
             stats.generated.fetch_add(1, Ordering::Relaxed);
             stats
@@ -249,6 +301,7 @@ fn handle_generate(
                 ("instructions", Json::string_array(&out.recipe.instructions)),
                 ("well_formed", Json::Bool(out.recipe.well_formed)),
                 ("model", Json::string(out.model)),
+                ("dtype", Json::string(out.dtype)),
                 ("latency_ms", Json::Number(out.latency_ms)),
             ]);
             Response::json(StatusCode::Ok, body.to_string())
@@ -378,6 +431,96 @@ mod tests {
         assert_eq!(v.get("generated").unwrap().as_f64(), Some(1.0));
         assert_eq!(v.get("bad_requests").unwrap().as_f64(), Some(1.0));
         assert!(v.get("mean_latency_ms").unwrap().as_f64().unwrap() >= 0.0);
+        srv.stop();
+    }
+
+    /// A backend with an int8 variant that stamps the dtype it used into
+    /// the title.
+    struct DtypeBackend;
+
+    impl RecipeBackend for DtypeBackend {
+        fn generate(&mut self, ingredients: &[String]) -> GeneratedRecipe {
+            self.generate_with_dtype(ingredients, "f32")
+        }
+
+        fn generate_with_dtype(&mut self, ingredients: &[String], dtype: &str) -> GeneratedRecipe {
+            GeneratedRecipe {
+                title: format!("{} via {dtype}", ingredients[0]),
+                ingredients: ingredients.to_vec(),
+                instructions: vec!["cook".into()],
+                well_formed: true,
+            }
+        }
+
+        fn model_name(&self) -> String {
+            "dtype-model".into()
+        }
+
+        fn dtypes(&self) -> Vec<String> {
+            vec!["f32".into(), "int8".into()]
+        }
+    }
+
+    #[test]
+    fn dtype_query_routes_to_variant() {
+        let srv = ApiServer::start(
+            "127.0.0.1:0",
+            1,
+            4,
+            Arc::new(|_| Box::new(DtypeBackend) as Box<dyn RecipeBackend>),
+        )
+        .unwrap();
+        let client = HttpClient::new(srv.addr());
+
+        // default dtype is the first supported one
+        let (status, body) = client
+            .post_json("/api/generate", r#"{"ingredients":["rice"]}"#)
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("rice via f32"));
+        assert_eq!(v.get("dtype").unwrap().as_str(), Some("f32"));
+
+        // explicit ?dtype=int8 reaches the quantized path and is echoed
+        let (status, body) = client
+            .post_json("/api/generate?dtype=int8", r#"{"ingredients":["rice"]}"#)
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("rice via int8"));
+        assert_eq!(v.get("dtype").unwrap().as_str(), Some("int8"));
+
+        // unsupported dtype is a client error, not a worker crash
+        let (status, body) = client
+            .post_json("/api/generate?dtype=fp4", r#"{"ingredients":["rice"]}"#)
+            .unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("unsupported dtype"));
+
+        // the model card lists the supported set
+        let (status, body) = client.get("/api/models").unwrap();
+        assert_eq!(status, 200);
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(
+            v.get("dtypes").unwrap().as_string_vec(),
+            vec!["f32", "int8"]
+        );
+        srv.stop();
+    }
+
+    #[test]
+    fn dtype_defaults_dont_break_plain_backends() {
+        // EchoBackend doesn't implement the dtype hooks: default serves
+        // f32 only, and asking for int8 is a 400.
+        let srv = boot();
+        let client = HttpClient::new(srv.addr());
+        let (status, body) = client
+            .post_json("/api/generate?dtype=int8", r#"{"ingredients":["flour"]}"#)
+            .unwrap();
+        assert_eq!(status, 400, "{body}");
+        let (_, body) = client.get("/api/models").unwrap();
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("dtypes").unwrap().as_string_vec(), vec!["f32"]);
         srv.stop();
     }
 

@@ -8,8 +8,10 @@
 //!
 //! ## Layers
 //!
-//! * [`Tensor`] — an immutable, contiguous, row-major `f32` n-d array value
-//!   type with cheap clones (shared storage).
+//! * [`Tensor`] — an immutable, contiguous, row-major n-d array value
+//!   type with cheap clones (shared storage), generic over a sealed
+//!   [`Element`] storage dtype (`f32` by default; [`F16`] and `i8` are
+//!   inference-only storage formats — see [`dtype`] and [`ops::quant`]).
 //! * Pure functional ops on [`Tensor`] (`matmul`, elementwise math,
 //!   reductions, softmax, layer norm, embedding lookup, …).
 //! * [`Var`] — a node in a dynamically-built computation graph. Calling ops
@@ -47,6 +49,7 @@
 
 
 pub mod autograd;
+pub mod dtype;
 pub mod error;
 pub mod init;
 pub mod ops;
@@ -58,7 +61,9 @@ pub mod tensor;
 pub mod var_ops;
 
 pub use autograd::Var;
+pub use dtype::{DType, Element, F16};
 pub use error::TensorError;
+pub use serialize::{DynTensor, DynTensorMap, TensorMap};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

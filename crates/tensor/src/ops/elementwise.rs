@@ -74,12 +74,13 @@ pub fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Ten
     );
     let bn = b.numel().max(1);
     let bd = b.data();
-    let data = a
-        .data()
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| f(x, bd[i % bn]))
-        .collect();
+    // Chunked sweep instead of `bd[i % bn]`: one bounds check per chunk
+    // and no per-element modulo, with the exact same pairing (and thus
+    // bit-identical results) as the index arithmetic it replaces.
+    let mut data = Vec::with_capacity(a.numel());
+    for chunk in a.data().chunks(bn) {
+        data.extend(chunk.iter().zip(bd).map(|(&x, &y)| f(x, y)));
+    }
     Tensor::from_parts(a.shape().clone(), data)
 }
 
@@ -133,6 +134,43 @@ pub fn gelu(t: &Tensor) -> Tensor {
 pub fn gelu_scalar(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// GELU via a rational `tanh` approximation — the quantized-inference
+/// variant of [`gelu`].
+///
+/// `libm`'s `tanhf` costs ~15 ns per element and dominates the MLP once
+/// the matmuls are int8; [`tanh_fast`] is a 13-multiply polynomial ratio
+/// accurate to a few ULP, which is far below int8 quantization error.
+/// Only the quantized decode path uses this — f32 training and decode
+/// keep the exact [`gelu`] so their numerics are untouched.
+pub fn gelu_fast(t: &Tensor) -> Tensor {
+    map(t, gelu_fast_scalar)
+}
+
+/// [`gelu_scalar`] with [`tanh_fast`] substituted for `f32::tanh`.
+#[inline]
+pub fn gelu_fast_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + tanh_fast(C * (x + 0.044_715 * x * x * x)))
+}
+
+/// Fast `tanh` as the ratio of two odd/even polynomials (the classic
+/// single-precision Padé fit), exact to within a few ULP on all of `f32`.
+/// Deterministic: pure multiplies/divide, no table lookups.
+#[inline]
+pub fn tanh_fast(x: f32) -> f32 {
+    // Saturate first: beyond |x| = 7.90531 the f32 tanh is ±1 exactly,
+    // and the polynomial is only a valid fit inside that interval.
+    let x = x.clamp(-7.905_31, 7.905_31);
+    let x2 = x * x;
+    let p = 4.893_524_6e-3
+        + x2 * (6.372_619_3e-4
+            + x2 * (1.485_722_4e-5
+                + x2 * (5.122_297e-8
+                    + x2 * (-8.604_672e-11 + x2 * (2.000_188e-13 + x2 * -2.760_768_5e-16)))));
+    let q = 4.893_525_3e-3 + x2 * (2.268_434_6e-3 + x2 * (1.185_347e-4 + x2 * 1.198_258_4e-6));
+    x * p / q
 }
 
 /// Derivative of [`gelu_scalar`] with respect to its input.
@@ -235,5 +273,32 @@ mod tests {
         assert_eq!(add_scalar(&a, 1.0).data(), &[2.0, -1.0]);
         assert_eq!(neg(&a).data(), &[-1.0, 2.0]);
         assert_eq!(square(&a).data(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn tanh_fast_tracks_libm_to_a_few_ulp() {
+        for i in -4000..=4000 {
+            let x = i as f32 * 2.5e-3; // dense grid over [-10, 10]
+            let exact = x.tanh();
+            let fast = tanh_fast(x);
+            assert!(
+                (exact - fast).abs() <= 2e-7 + exact.abs() * 4.0 * f32::EPSILON,
+                "tanh_fast({x}) = {fast}, libm = {exact}"
+            );
+        }
+        // saturation: within a few ULP of ±1 well past the clamp point,
+        // and odd symmetry / exact zero at the origin
+        assert!((tanh_fast(50.0) - 1.0).abs() <= 2e-7);
+        assert_eq!(tanh_fast(50.0), -tanh_fast(-50.0));
+        assert_eq!(tanh_fast(0.0), 0.0);
+    }
+
+    #[test]
+    fn gelu_fast_tracks_exact_gelu() {
+        for i in -800..=800 {
+            let x = i as f32 * 1e-2;
+            let d = (gelu_scalar(x) - gelu_fast_scalar(x)).abs();
+            assert!(d <= 1e-6 + x.abs() * 1e-6, "gelu mismatch at {x}: {d}");
+        }
     }
 }

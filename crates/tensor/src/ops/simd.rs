@@ -14,6 +14,8 @@
 //! element, which is what lets the blocked, multithreaded matmuls promise
 //! byte-identical results for any `set_num_threads` value.
 
+use crate::dtype::{Element, F16};
+
 /// True when the 8-lane FMA kernels are usable on this host.
 #[inline]
 pub(crate) fn use_avx2_fma() -> bool {
@@ -23,6 +25,45 @@ pub(crate) fn use_avx2_fma() -> bool {
         static DETECTED: OnceLock<bool> = OnceLock::new();
         *DETECTED
             .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the integer AVX2 kernels (`maddubs`-based int8 dot) are
+/// usable on this host. Integer SIMD needs no FMA, so this probe is
+/// AVX2-only; the choice never affects results — integer accumulation is
+/// exact, so the AVX2 and portable paths are bit-identical.
+#[inline]
+pub(crate) fn use_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED.get_or_init(|| is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the hardware f16↔f32 conversion kernels are usable. The F16C
+/// widen (`vcvtph2ps`) is exact and the scalar fallback widens exactly
+/// too, so dispatch never changes results.
+#[inline]
+pub(crate) fn use_f16c() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            is_x86_feature_detected!("f16c")
+                && is_x86_feature_detected!("avx2")
+                && is_x86_feature_detected!("fma")
+        })
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
@@ -145,6 +186,132 @@ unsafe fn axpy_avx(alpha: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
+/// Dot product of an `f32` query against an [`F16`]-stored row, widening
+/// each half on the fly. Fixed k-ascending accumulation order; the F16C
+/// fast path and the scalar fallback widen identically (the conversion is
+/// exact), so both produce the same reduction inputs.
+#[inline]
+pub fn dot_f16(a: &[f32], b: &[F16]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_f16: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_f16c() {
+        // SAFETY: `use_f16c()` returned true, so the one-time cpuid probe
+        // confirmed F16C+AVX2+FMA on this host — `dot_f16_avx`'s
+        // `#[target_feature]` contract holds; equal lengths were asserted.
+        return unsafe { dot_f16_avx(a, b) };
+    }
+    dot_f16_portable(a, b)
+}
+
+fn dot_f16_portable(a: &[f32], b: &[F16]) -> f32 {
+    // Mirrors `dot_portable`: four accumulator chains, fixed combine order.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let (x, y) = (&a[i * 4..i * 4 + 4], &b[i * 4..i * 4 + 4]);
+        acc[0] += x[0] * y[0].to_f32();
+        acc[1] += x[1] * y[1].to_f32();
+        acc[2] += x[2] * y[2].to_f32();
+        acc[3] += x[3] * y[3].to_f32();
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i].to_f32();
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+// SAFETY: unsafe solely for `#[target_feature]` — callers must have
+// verified F16C+AVX2+FMA via `use_f16c()` before calling. `F16` is
+// `#[repr(transparent)]` over `u16`, so `bp` casts to `*const __m128i`
+// loads of 8 halfs are layout-valid; all loads are unaligned (`loadu`)
+// and `ap/bp.add(i)` stays in bounds: `i + 8 <= n` and `i < n` guard
+// each loop, with `a.len() == b.len() == n` asserted by the caller.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+unsafe fn dot_f16_avx(a: &[f32], b: &[F16]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr() as *const u16);
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let h0 = _mm256_cvtph_ps(_mm_loadu_si128(bp.add(i) as *const __m128i));
+        let h1 = _mm256_cvtph_ps(_mm_loadu_si128(bp.add(i + 8) as *const __m128i));
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), h0, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i + 8)), h1, acc1);
+        i += 16;
+    }
+    while i + 8 <= n {
+        let h = _mm256_cvtph_ps(_mm_loadu_si128(bp.add(i) as *const __m128i));
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), h, acc0);
+        i += 8;
+    }
+    let acc = _mm256_add_ps(acc0, acc1);
+    let lo = _mm256_castps256_ps128(acc);
+    let hi = _mm256_extractf128_ps(acc, 1);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    let mut total = _mm_cvtss_f32(s);
+    while i < n {
+        total += *ap.add(i) * f16_to_f32_scalar(*bp.add(i));
+        i += 1;
+    }
+    total
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn f16_to_f32_scalar(bits: u16) -> f32 {
+    F16::from_bits(bits).to_f32()
+}
+
+/// `y[j] += alpha * x[j]` where `x` is stored as [`F16`] — the attention
+/// context update against an f16 value row.
+#[inline]
+pub fn axpy_f16(alpha: f32, x: &[F16], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy_f16: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_f16c() {
+        // SAFETY: cpuid probe above confirmed F16C+AVX2+FMA, satisfying
+        // `axpy_f16_avx`'s `#[target_feature]` contract; the length
+        // equality it indexes by was just asserted.
+        unsafe { axpy_f16_avx(alpha, x, y) };
+        return;
+    }
+    for (o, &v) in y.iter_mut().zip(x.iter()) {
+        *o += alpha * v.to_f32();
+    }
+}
+
+// SAFETY: unsafe solely for `#[target_feature]` — callers must have
+// verified F16C+AVX2+FMA via `use_f16c()`. `F16` is `#[repr(transparent)]`
+// over `u16` so the `__m128i` loads of 8 halfs are layout-valid; unaligned
+// loads/stores via `loadu`/`storeu`; `xp/yp.add(j)` bounded by
+// `j + 8 <= n` / `j < n` with `x.len() == y.len() == n` asserted by the
+// caller.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+unsafe fn axpy_f16_avx(alpha: f32, x: &[F16], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let (xp, yp) = (x.as_ptr() as *const u16, y.as_mut_ptr());
+    let av = _mm256_set1_ps(alpha);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let xv = _mm256_cvtph_ps(_mm_loadu_si128(xp.add(j) as *const __m128i));
+        let acc = _mm256_fmadd_ps(av, xv, _mm256_loadu_ps(yp.add(j)));
+        _mm256_storeu_ps(yp.add(j), acc);
+        j += 8;
+    }
+    while j < n {
+        *yp.add(j) += alpha * f16_to_f32_scalar(*xp.add(j));
+        j += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +340,31 @@ mod tests {
             *e += 2.0 * v;
         }
         axpy(2.0, &x, &mut y);
+        for (a, e) in y.iter().zip(&expect) {
+            assert!((a - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dot_f16_matches_f32_dot_on_exact_halves() {
+        // Values exactly representable in f16 (small integers / quarters),
+        // so widening introduces no error and both dots agree tightly.
+        let a: Vec<f32> = (0..41).map(|i| (i % 9) as f32 * 0.25 - 1.0).collect();
+        let bf: Vec<f32> = (0..41).map(|i| (i % 7) as f32 * 0.5 - 1.5).collect();
+        let bh: Vec<F16> = bf.iter().map(|&v| F16::from_f32(v)).collect();
+        assert!((dot_f16(&a, &bh) - dot(&a, &bf)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn axpy_f16_matches_naive() {
+        let xf: Vec<f32> = (0..23).map(|i| i as f32 * 0.5).collect();
+        let xh: Vec<F16> = xf.iter().map(|&v| F16::from_f32(v)).collect();
+        let mut y: Vec<f32> = (0..23).map(|i| 10.0 - i as f32).collect();
+        let mut expect = y.clone();
+        for (e, &v) in expect.iter_mut().zip(&xf) {
+            *e += 2.0 * v;
+        }
+        axpy_f16(2.0, &xh, &mut y);
         for (a, e) in y.iter().zip(&expect) {
             assert!((a - e).abs() < 1e-5);
         }

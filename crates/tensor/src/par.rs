@@ -44,12 +44,20 @@ pub fn set_num_threads(n: usize) {
     NUM_THREADS.store(n, Ordering::Relaxed);
 }
 
+/// Detected core count, resolved once. `available_parallelism` reads
+/// cgroup quota files on Linux (microseconds per call) — far too slow to
+/// query on every kernel launch, and the answer never changes within a
+/// process lifetime.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
 /// The number of worker threads parallel kernels will use right now.
 pub fn num_threads() -> usize {
     match NUM_THREADS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        0 => *DEFAULT_THREADS.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
         n => n,
     }
 }
@@ -244,34 +252,39 @@ where
 }
 
 /// A raw chunk of the output buffer, pre-split so disjoint `&mut` slices
-/// can be reconstructed inside the shared task closure.
-struct RawPart {
+/// can be reconstructed inside the shared task closure. Generic over the
+/// element type so both `f32` kernel outputs and `i8` quantized buffers
+/// can be tiled.
+struct RawPart<T> {
     start_row: usize,
     end_row: usize,
-    ptr: *mut f32,
+    ptr: *mut T,
     len: usize,
 }
 
 // SAFETY: a `RawPart` is only ever created by `parallel_rows_mut`, which
-// cuts one live `&mut [f32]` into non-overlapping `[ptr, ptr+len)`
+// cuts one live `&mut [T]` into non-overlapping `[ptr, ptr+len)`
 // regions; moving a part to a pool thread therefore moves exclusive
-// access to its region, never shares it.
-unsafe impl Send for RawPart {}
+// access to its region, never shares it. `T: Send` bounds the element
+// itself to types whose exclusive access may cross threads.
+unsafe impl<T: Send> Send for RawPart<T> {}
 // SAFETY: tasks receive `&RawPart` through the shared closure, but task
 // index `i` is dispatched exactly once, so each part's region is
 // reconstructed into a `&mut` slice by exactly one thread — the shared
 // reference is only used to read the (immutable) pointer and bounds.
-unsafe impl Sync for RawPart {}
+unsafe impl<T: Send> Sync for RawPart<T> {}
 
 /// Fill disjoint row-chunks of `out`, where each chunk of `rows` rows of
 /// width `row_len` is produced by `f(row_range, out_chunk)`.
 ///
-/// This is the safe wrapper the matmul kernels use: the output buffer is
-/// pre-split into disjoint parts (boundaries depend only on `rows` and the
-/// thread count, never on scheduling), so no aliasing is possible.
-pub fn parallel_rows_mut<F>(out: &mut [f32], rows: usize, row_len: usize, min_rows: usize, f: F)
+/// This is the safe wrapper the matmul and quantization kernels use: the
+/// output buffer is pre-split into disjoint parts (boundaries depend only
+/// on `rows` and the thread count, never on scheduling), so no aliasing is
+/// possible.
+pub fn parallel_rows_mut<T, F>(out: &mut [T], rows: usize, row_len: usize, min_rows: usize, f: F)
 where
-    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(std::ops::Range<usize>, &mut [T]) + Sync,
 {
     assert_eq!(out.len(), rows * row_len, "output buffer size mismatch");
     let threads = num_threads().min(rows / min_rows.max(1)).max(1);
@@ -352,6 +365,23 @@ mod tests {
         });
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn parallel_rows_mut_is_element_generic() {
+        let rows = 33;
+        let width = 5;
+        let mut out = vec![0i8; rows * width];
+        parallel_rows_mut(&mut out, rows, width, 1, |range, chunk| {
+            for (i, r) in range.clone().enumerate() {
+                for c in 0..width {
+                    chunk[i * width + c] = ((r * width + c) % 127) as i8;
+                }
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i % 127) as i8);
         }
     }
 

@@ -2,27 +2,36 @@
 
 use std::sync::Arc;
 
+use crate::dtype::{DType, Element};
 use crate::error::TensorError;
 use crate::shape::Shape;
 
-/// A contiguous, row-major, immutable `f32` tensor.
+/// A contiguous, row-major, immutable tensor, generic over its storage
+/// element (default `f32`).
 ///
 /// Storage is shared behind an [`Arc`], so `clone` is O(1). Ops that produce
 /// new data allocate a fresh buffer; ops that only reinterpret the shape
 /// (`reshape`) share storage.
+///
+/// Only `Tensor<f32>` participates in autograd and training; `Tensor<F16>`
+/// and `Tensor<i8>` are inference-time storage formats (KV caches,
+/// quantized weights) produced by the conversion ops in
+/// [`crate::ops::quant`]. That split is structural — [`crate::Var`] wraps
+/// `Tensor<f32>` only, so a non-f32 tensor can never enter a gradient
+/// graph.
 #[derive(Clone)]
-pub struct Tensor {
+pub struct Tensor<E: Element = f32> {
     shape: Shape,
-    data: Arc<Vec<f32>>,
+    data: Arc<Vec<E>>,
 }
 
-impl Tensor {
+impl<E: Element> Tensor<E> {
     // ---------------------------------------------------------------
     // Constructors
     // ---------------------------------------------------------------
 
     /// Build a tensor from a flat row-major buffer and a shape.
-    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+    pub fn from_vec(data: Vec<E>, dims: &[usize]) -> Result<Self, TensorError> {
         let shape = Shape::new(dims)?;
         if data.len() != shape.numel() {
             return Err(TensorError::ShapeDataMismatch {
@@ -36,6 +45,83 @@ impl Tensor {
         })
     }
 
+    // ---------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------
+
+    /// The storage dtype.
+    #[inline]
+    pub fn dtype(&self) -> DType {
+        E::DTYPE
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimensions as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// The flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[E] {
+        &self.data
+    }
+
+    /// Reinterpret the shape without copying (element count must match).
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor<E> {
+        let shape = Shape::new(dims).expect("reshape: invalid shape");
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape {} -> {} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor {
+            shape,
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Copy out the data as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<E> {
+        self.data.as_ref().clone()
+    }
+
+    /// Internal: build from parts without re-validating (callers guarantee
+    /// `data.len() == shape.numel()`).
+    pub(crate) fn from_parts(shape: Shape, data: Vec<E>) -> Tensor<E> {
+        debug_assert_eq!(shape.numel(), data.len());
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
+    }
+}
+
+/// `f32`-only constructors and diagnostics (the training surface).
+impl Tensor {
     /// A scalar (rank-0) tensor.
     pub fn scalar(v: f32) -> Self {
         Tensor {
@@ -77,40 +163,6 @@ impl Tensor {
         }
     }
 
-    // ---------------------------------------------------------------
-    // Accessors
-    // ---------------------------------------------------------------
-
-    /// The tensor's shape.
-    #[inline]
-    pub fn shape(&self) -> &Shape {
-        &self.shape
-    }
-
-    /// Dimensions as a slice.
-    #[inline]
-    pub fn dims(&self) -> &[usize] {
-        self.shape.dims()
-    }
-
-    /// Number of dimensions.
-    #[inline]
-    pub fn rank(&self) -> usize {
-        self.shape.rank()
-    }
-
-    /// Total element count.
-    #[inline]
-    pub fn numel(&self) -> usize {
-        self.shape.numel()
-    }
-
-    /// The flat row-major data.
-    #[inline]
-    pub fn data(&self) -> &[f32] {
-        &self.data
-    }
-
     /// Element at a multi-dimensional index.
     ///
     /// # Panics
@@ -131,40 +183,6 @@ impl Tensor {
             self.numel()
         );
         self.data[0]
-    }
-
-    /// Reinterpret the shape without copying (element count must match).
-    ///
-    /// # Panics
-    /// Panics if the element counts differ.
-    pub fn reshape(&self, dims: &[usize]) -> Tensor {
-        let shape = Shape::new(dims).expect("reshape: invalid shape");
-        assert_eq!(
-            shape.numel(),
-            self.numel(),
-            "reshape {} -> {} changes element count",
-            self.shape,
-            shape
-        );
-        Tensor {
-            shape,
-            data: Arc::clone(&self.data),
-        }
-    }
-
-    /// Copy out the data as an owned `Vec`.
-    pub fn to_vec(&self) -> Vec<f32> {
-        self.data.as_ref().clone()
-    }
-
-    /// Internal: build from parts without re-validating (callers guarantee
-    /// `data.len() == shape.numel()`).
-    pub(crate) fn from_parts(shape: Shape, data: Vec<f32>) -> Tensor {
-        debug_assert_eq!(shape.numel(), data.len());
-        Tensor {
-            shape,
-            data: Arc::new(data),
-        }
     }
 
     /// True if any element is NaN or infinite. Used by training-loop
@@ -194,7 +212,7 @@ impl Tensor {
     }
 }
 
-impl std::fmt::Debug for Tensor {
+impl<E: Element> std::fmt::Debug for Tensor<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         const PREVIEW: usize = 8;
         write!(f, "Tensor{} [", self.shape)?;
@@ -202,7 +220,7 @@ impl std::fmt::Debug for Tensor {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{v:.4}")?;
+            v.fmt_elem(f)?;
         }
         if self.numel() > PREVIEW {
             write!(f, ", … {} more", self.numel() - PREVIEW)?;
@@ -211,7 +229,7 @@ impl std::fmt::Debug for Tensor {
     }
 }
 
-impl PartialEq for Tensor {
+impl<E: Element> PartialEq for Tensor<E> {
     fn eq(&self, other: &Self) -> bool {
         self.shape == other.shape && self.data == other.data
     }
@@ -220,6 +238,7 @@ impl PartialEq for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dtype::F16;
 
     #[test]
     fn from_vec_validates_length() {
@@ -274,5 +293,26 @@ mod tests {
         let t = Tensor::from_vec(vec![3.0, -4.0], &[2]).unwrap();
         assert_eq!(t.l2_norm(), 5.0);
         assert_eq!(t.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn non_f32_storage_dtypes() {
+        let q: Tensor<i8> = Tensor::from_vec(vec![1i8, -2, 3, -4], &[2, 2]).unwrap();
+        assert_eq!(q.dtype(), DType::I8);
+        assert_eq!(q.data(), &[1, -2, 3, -4]);
+        let h: Tensor<F16> = Tensor::from_vec(vec![F16::from_f32(1.5); 3], &[3]).unwrap();
+        assert_eq!(h.dtype(), DType::F16);
+        assert_eq!(h.data()[0].to_f32(), 1.5);
+        // clone/reshape share storage for every dtype
+        let r = q.reshape(&[4]);
+        assert!(std::ptr::eq(q.data().as_ptr(), r.data().as_ptr()));
+    }
+
+    #[test]
+    fn debug_preview_per_dtype() {
+        let f = format!("{:?}", Tensor::from_vec(vec![1.25f32, 2.0], &[2]).unwrap());
+        assert!(f.contains("1.2500"), "{f}");
+        let q = format!("{:?}", Tensor::from_vec(vec![-3i8, 7], &[2]).unwrap());
+        assert!(q.contains("-3, 7"), "{q}");
     }
 }
