@@ -1,0 +1,113 @@
+//! **T-batch** — continuous-batching decode throughput.
+//!
+//! Measures the tentpole of the batching PR: aggregate decode throughput
+//! through [`BatchGenerator`] at batch sizes 1 / 4 / 8, with all
+//! sequences sharing one pantry prompt ("shared": the prefix cache
+//! serves the prompt blocks, so a request prefills only its tail) versus
+//! every sequence prefilling its own prompt ("disjoint": prefix sharing
+//! disabled — what per-request serving does today). Throughput counts
+//! generated tokens, so per-token p99 falls out of the JSON directly.
+//!
+//! The prompt:decode shape (48:24) mirrors real pantry requests — the
+//! prompt lists the ingredients, the decode writes the recipe body — and
+//! that ratio is exactly why shared-prefix batching pays: the disjoint
+//! solo baseline spends 2/3 of its steps re-prefilling the prompt.
+//!
+//! Decode cost is weight-independent — models are benchmarked at init,
+//! greedy, with a fixed token budget per sequence.
+
+use ratatouille_util::bench::{Bench, BenchmarkId, Throughput};
+use ratatouille_util::{bench_group, bench_main};
+use ratatouille::models::batch::{
+    BatchEngineConfig, BatchGenerator, BatchRequest, BatchStepModel,
+};
+use ratatouille::models::gpt2::{Gpt2Config, Gpt2Lm};
+use ratatouille::models::sample::SamplerConfig;
+use ratatouille::models::InferenceModel;
+
+const VOCAB: usize = 384;
+/// Generated tokens per sequence per iteration.
+const TOKENS: usize = 24;
+/// Prompt length — a realistic tokenized pantry (11 full 4-token KV
+/// blocks of shareable prefix).
+const PROMPT: usize = 48;
+
+fn engine_cfg(shared: bool) -> BatchEngineConfig {
+    BatchEngineConfig {
+        block_tokens: 4,
+        num_blocks: 256,
+        max_batch: 8,
+        prefix_cap: if shared { 8 } else { 0 },
+    }
+}
+
+fn sampler() -> SamplerConfig {
+    SamplerConfig {
+        max_tokens: TOKENS,
+        greedy: true,
+        stop_token: None,
+        ..SamplerConfig::default()
+    }
+}
+
+fn prompt_for(slot: usize, shared: bool) -> Vec<u32> {
+    // Shared mode: one prompt for the whole batch. Disjoint: each slot
+    // gets its own, so every sequence pays its full prefill.
+    let base = if shared { 0 } else { slot as u32 * 31 };
+    (0..PROMPT).map(|t| (2 + base + t as u32) % VOCAB as u32).collect()
+}
+
+/// Decode `batch` sequences to completion; returns a token checksum so
+/// the work cannot be optimized away.
+fn run_batch(
+    bm: &dyn BatchStepModel,
+    engine: &mut BatchGenerator,
+    batch: usize,
+    shared: bool,
+) -> u64 {
+    let mut ids = Vec::with_capacity(batch);
+    for slot in 0..batch {
+        let id = engine
+            .admit(BatchRequest {
+                prompt: prompt_for(slot, shared),
+                sampler: sampler(),
+                seed: slot as u64,
+            })
+            .expect("pool sized for the batch");
+        ids.push(id);
+    }
+    let mut sum = 0u64;
+    let mut done = 0;
+    while done < ids.len() {
+        let out = engine.step(bm).expect("blocks reserved at admission");
+        for f in out.finished {
+            done += 1;
+            sum += f.tokens.iter().map(|&t| t as u64).sum::<u64>();
+        }
+    }
+    sum
+}
+
+fn bench_batched(c: &mut Bench) {
+    let model = Gpt2Lm::new(Gpt2Config::distil(VOCAB));
+    let bm = model.batch_model().expect("distil tier is batch-ready");
+    let mut group = c.benchmark_group("batched_decode");
+    group.sample_size(10);
+    for shared in [true, false] {
+        let mode = if shared { "shared" } else { "disjoint" };
+        for batch in [1usize, 4, 8] {
+            // One engine per configuration: the prefix cache warms on the
+            // first iteration and serves hits thereafter (the steady
+            // state a server sees).
+            let mut engine = BatchGenerator::new(bm, engine_cfg(shared));
+            group.throughput(Throughput::Elements((batch * TOKENS) as u64));
+            group.bench_function(BenchmarkId::new(mode, batch), |b| {
+                b.iter(|| run_batch(bm, &mut engine, batch, shared))
+            });
+        }
+    }
+    group.finish();
+}
+
+bench_group!(benches, bench_batched);
+bench_main!(benches);

@@ -14,6 +14,8 @@ use ratatouille_util::rng::SeedableRng;
 use ratatouille_tensor::ops::{qmatmul_transb, quantize_per_row, QuantizedMatrix};
 use ratatouille_tensor::{init, ops, DType, Tensor, Var, F16};
 
+use crate::batch::{BatchStepModel, ModelDims};
+use crate::kv_block::{BlockPool, SeqKv};
 use crate::lm::{Batch, InferenceModel, LanguageModel, TokenStream};
 use crate::transformer::{Block, DecodeScratch, KvCache, QuantBlock};
 
@@ -185,6 +187,70 @@ impl InferenceModel for Gpt2Lm {
             scratch: DecodeScratch::new(),
             pos: 0,
         })
+    }
+
+    fn batch_model(&self) -> Option<&dyn BatchStepModel> {
+        self.batch_ready().then_some(self as &dyn BatchStepModel)
+    }
+}
+
+impl BatchStepModel for Gpt2Lm {
+    fn dims(&self) -> ModelDims {
+        ModelDims {
+            layers: self.config.n_layers,
+            d_model: self.config.d_model,
+        }
+    }
+
+    /// Batch invariance needs every batched-GEMM output width divisible
+    /// by the pack width `NR = 16`: the packed (`M ≥ 8`) and unpacked
+    /// microkernels then run identical per-element accumulation chains,
+    /// so a row's bits don't depend on how many rows ride along. The
+    /// GEMMs here are `x@W_qkv` (`N = 3D`), `ctx@W_o` (`N = D`),
+    /// `ln@W_up` (`N = F`) and `up@W_down` (`N = D`); the LM head is a
+    /// `matmul_transb` (independent dots, invariant for any `V`).
+    fn batch_ready(&self) -> bool {
+        self.config.d_model % 16 == 0 && self.config.d_ff % 16 == 0
+    }
+
+    fn batch_step(
+        &self,
+        tokens: &[u32],
+        pool: &mut BlockPool,
+        seqs: &mut [&mut SeqKv],
+        scratch: &mut DecodeScratch,
+    ) -> Vec<Tensor> {
+        let b = tokens.len();
+        debug_assert_eq!(b, seqs.len());
+        let d = self.config.d_model;
+        let wte = self.wte.value();
+        let wpe = self.wpe.value();
+
+        // Stacked token + position embeddings, [B, D]. Positions clamp to
+        // the last learned slot exactly like the solo stream.
+        let mut x = Vec::with_capacity(b * d);
+        for (i, &tok) in tokens.iter().enumerate() {
+            assert!((tok as usize) < self.config.vocab, "token {tok} out of vocab");
+            let pos = seqs[i].len().min(self.config.max_t - 1);
+            let te = &wte.data()[tok as usize * d..(tok as usize + 1) * d];
+            let pe = &wpe.data()[pos * d..(pos + 1) * d];
+            x.extend(te.iter().zip(pe).map(|(&t, &p)| t + p));
+        }
+        let mut x = Tensor::from_vec(x, &[b, d]).expect("embeddings are [B, D]");
+
+        for (layer, blk) in self.blocks.iter().enumerate() {
+            x = blk.forward_incremental_batch(&x, self.config.n_heads, layer, pool, seqs, scratch);
+        }
+        let (ln, _, _) = ops::layer_norm(&x, &self.lnf_g.value(), &self.lnf_b.value(), 1e-5);
+        let logits = ops::matmul_transb(&ln, &wte); // [B, V]
+        let ld = logits.data();
+        let v = self.config.vocab;
+        (0..b)
+            .map(|i| {
+                Tensor::from_vec(ld[i * v..(i + 1) * v].to_vec(), &[v])
+                    .expect("logits row is [V]")
+            })
+            .collect()
     }
 }
 

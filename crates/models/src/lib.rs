@@ -19,9 +19,11 @@
 #![warn(missing_docs)]
 
 
+pub mod batch;
 pub mod beam;
 pub mod data;
 pub mod gpt2;
+pub mod kv_block;
 pub mod gptneo;
 pub mod lm;
 pub mod lstm;
@@ -30,7 +32,12 @@ pub mod sample;
 pub mod train;
 pub mod transformer;
 
+pub use batch::{
+    AdmitError, BatchEngineConfig, BatchGenerator, BatchRequest, BatchStepModel, FinishedSeq,
+    ModelDims, StepOutcome,
+};
 pub use gpt2::{Gpt2Config, Gpt2Lm, QuantGpt2Lm};
+pub use kv_block::{BlockConfig, BlockPool, PoolExhausted, PrefixCache, SeqKv};
 pub use gptneo::{GptNeoConfig, GptNeoLm, QuantGptNeoLm};
 pub use lm::{Batch, InferenceModel, LanguageModel, TokenStream};
 pub use lstm::{LstmConfig, LstmLm};

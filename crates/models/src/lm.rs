@@ -85,6 +85,18 @@ pub trait InferenceModel {
     /// Begin incremental decoding. Pushing a token returns the logits for
     /// the *next* position.
     fn start_stream(&self) -> Box<dyn TokenStream + '_>;
+
+    /// The continuous-batching decode interface, when this model offers
+    /// one that satisfies the batch-invariance preconditions (see
+    /// [`crate::batch::BatchStepModel::batch_ready`]).
+    ///
+    /// The default is `None`: LSTMs (recurrent state, no KV cache) and
+    /// models whose GEMM widths break batch invariance simply aren't
+    /// batchable, and the serving layer falls back to per-request
+    /// workers.
+    fn batch_model(&self) -> Option<&dyn crate::batch::BatchStepModel> {
+        None
+    }
 }
 
 /// An autoregressive language model trainable with this crate's trainer

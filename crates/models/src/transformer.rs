@@ -11,6 +11,8 @@ use ratatouille_util::rng::StdRng;
 use ratatouille_tensor::ops::{qmatmul_transb, quantize_per_row, QuantizedMatrix};
 use ratatouille_tensor::{init, ops, Element, Tensor, Var, F16};
 
+use crate::kv_block::{BlockPool, SeqKv};
+
 /// One transformer block's parameters.
 pub struct Block {
     /// Pre-attention layer-norm gain `[D]`.
@@ -188,10 +190,109 @@ impl Block {
         let mlp = ops::add_broadcast(&ops::matmul(&up, &self.w_down.value()), &self.b_down.value());
         ops::add(&x1, &mlp).reshape(&[d])
     }
+
+    /// Batched incremental forward: one new token for each of `B`
+    /// sequences at once, K/V landing in the block pool.
+    ///
+    /// `x` is `[B, D]` (row `i` is sequence `i`'s residual stream);
+    /// `seqs[i]` must have a writable slot prepared for this step
+    /// ([`SeqKv::prepare_write`]), and the row written here becomes
+    /// readable at position `seqs[i].len()` (committed by the caller
+    /// after all layers ran).
+    ///
+    /// Every op in this path — `layer_norm`, the three GEMMs, the
+    /// per-sequence [`attend`] — computes each output row independently
+    /// of the batch's other rows (DESIGN §10's batch-invariance
+    /// argument), which is what makes a sequence's token stream
+    /// identical solo or batched.
+    pub fn forward_incremental_batch(
+        &self,
+        x: &Tensor,
+        heads: usize,
+        layer: usize,
+        pool: &mut BlockPool,
+        seqs: &mut [&mut SeqKv],
+        scratch: &mut DecodeScratch,
+    ) -> Tensor {
+        let (b, d) = (x.dims()[0], x.dims()[1]);
+        debug_assert_eq!(b, seqs.len());
+        let dh = d / heads;
+
+        let (ln, _, _) = ops::layer_norm(x, &self.ln1_g.value(), &self.ln1_b.value(), 1e-5);
+        let qkv = ops::add_broadcast(&ops::matmul(&ln, &self.w_qkv.value()), &self.b_qkv.value());
+        let qkv_d = qkv.data();
+        for (i, seq) in seqs.iter().enumerate() {
+            let row = &qkv_d[i * 3 * d..(i + 1) * 3 * d];
+            seq.write(pool, layer, &row[d..2 * d], &row[2 * d..3 * d]);
+        }
+
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut ctx = vec![0.0f32; b * d];
+        for (i, seq) in seqs.iter().enumerate() {
+            // The just-written row participates: reader length len + 1.
+            let view = seq.layer_view(pool, layer, seq.len() + 1);
+            let q = &qkv_d[i * 3 * d..i * 3 * d + d];
+            attend(q, heads, dh, 0, &view, scratch, scale);
+            ctx[i * d..(i + 1) * d].copy_from_slice(&scratch.ctx);
+        }
+        let ctx = Tensor::from_vec(ctx, &[b, d]).expect("ctx is [B, D]");
+        let attn = ops::add_broadcast(&ops::matmul(&ctx, &self.w_o.value()), &self.b_o.value());
+        let x1 = ops::add(x, &attn);
+
+        let (ln2, _, _) = ops::layer_norm(&x1, &self.ln2_g.value(), &self.ln2_b.value(), 1e-5);
+        let up = ops::gelu(&ops::add_broadcast(
+            &ops::matmul(&ln2, &self.w_up.value()),
+            &self.b_up.value(),
+        ));
+        let mlp = ops::add_broadcast(&ops::matmul(&up, &self.w_down.value()), &self.b_down.value());
+        ops::add(&x1, &mlp)
+    }
+
+}
+
+/// Position-ordered read access to one layer's cached K/V rows.
+///
+/// The attention kernel [`attend`] is generic over this, so the same
+/// inner loops serve the contiguous per-stream [`KvCache`] and the
+/// block-allocated [`crate::kv_block::SeqLayerKv`] view of the batched
+/// pool — storage layout changes, numerics cannot.
+pub trait KvRows {
+    /// Cache storage dtype.
+    type Elem: Element;
+
+    /// Number of readable positions.
+    fn len(&self) -> usize;
+
+    /// Whether no positions are readable.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached K row of `pos`.
+    fn k_row(&self, pos: usize) -> &[Self::Elem];
+
+    /// The cached V row of `pos`.
+    fn v_row(&self, pos: usize) -> &[Self::Elem];
+}
+
+impl<E: Element> KvRows for KvCache<E> {
+    type Elem = E;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn k_row(&self, pos: usize) -> &[E] {
+        KvCache::k_row(self, pos)
+    }
+
+    fn v_row(&self, pos: usize) -> &[E] {
+        KvCache::v_row(self, pos)
+    }
 }
 
 /// The fused incremental-attention kernel, generic over the KV-cache
-/// storage dtype.
+/// storage (see [`KvRows`]) and its dtype.
 ///
 /// Scores `q` (the current position's f32 query, all heads concatenated)
 /// against cached positions `start..len`, softmaxes per head, and
@@ -203,12 +304,12 @@ impl Block {
 /// [`Element::axpy_into_f32`]; for `E = f32` these are exactly the
 /// `ops::dot` / `ops::axpy` kernels the pre-generic code called, so the
 /// f32 decode path is bit-identical to what it was.
-fn attend<E: Element>(
+pub(crate) fn attend<C: KvRows>(
     q: &[f32],
     heads: usize,
     dh: usize,
     start: usize,
-    cache: &KvCache<E>,
+    cache: &C,
     scratch: &mut DecodeScratch,
     scale: f32,
 ) {
@@ -222,7 +323,8 @@ fn attend<E: Element>(
         let k_row = cache.k_row(pos);
         for h in 0..heads {
             scratch.scores[h * tw + (pos - start)] =
-                E::dot_with_f32(&q[h * dh..(h + 1) * dh], &k_row[h * dh..(h + 1) * dh]) * scale;
+                C::Elem::dot_with_f32(&q[h * dh..(h + 1) * dh], &k_row[h * dh..(h + 1) * dh])
+                    * scale;
         }
     }
     for h in 0..heads {
@@ -236,7 +338,7 @@ fn attend<E: Element>(
     for pos in start..t {
         let v_row = cache.v_row(pos);
         for h in 0..heads {
-            E::axpy_into_f32(
+            C::Elem::axpy_into_f32(
                 scratch.probs[h * tw + (pos - start)],
                 &v_row[h * dh..(h + 1) * dh],
                 &mut scratch.ctx[h * dh..(h + 1) * dh],

@@ -1,0 +1,207 @@
+//! The batch-determinism contract, pinned at the engine level: a
+//! sequence's token stream is **byte-identical** whether it decodes
+//! solo, in a batch of 2, or in a batch of 7 — and whether its prompt
+//! prefix came from the shared-prefix cache or was computed fresh.
+//!
+//! Uses an untrained tiny GPT-2 (random but seeded weights): the
+//! contract is about kernels and scheduling, not model quality, and an
+//! untrained model's logits are just as sensitive to any accumulation
+//! reordering.
+
+use ratatouille_models::batch::{BatchEngineConfig, BatchGenerator, BatchRequest};
+use ratatouille_models::gpt2::{Gpt2Config, Gpt2Lm};
+use ratatouille_models::lm::InferenceModel;
+use ratatouille_models::sample::SamplerConfig;
+
+fn tiny() -> Gpt2Lm {
+    Gpt2Lm::new(Gpt2Config {
+        name: "tiny-batch".into(),
+        vocab: 16,
+        d_model: 16, // % 16 == 0 → batch_ready
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 32, // % 16 == 0
+        max_t: 64,
+        dropout: 0.0,
+        seed: 5,
+    })
+}
+
+fn engine_cfg(prefix_cap: usize) -> BatchEngineConfig {
+    BatchEngineConfig {
+        block_tokens: 4, // small so short prompts still span full blocks
+        num_blocks: 96,
+        max_batch: 8,
+        prefix_cap,
+    }
+}
+
+fn sampled(max_tokens: usize) -> SamplerConfig {
+    SamplerConfig {
+        max_tokens,
+        temperature: 0.9,
+        top_k: 0,
+        top_p: 1.0,
+        stop_token: None,
+        greedy: false,
+    }
+}
+
+fn req(prompt: &[u32], seed: u64, cfg: &SamplerConfig) -> BatchRequest {
+    BatchRequest {
+        prompt: prompt.to_vec(),
+        sampler: cfg.clone(),
+        seed,
+    }
+}
+
+/// Decode one request alone (batch of 1) through a fresh engine.
+fn solo(model: &Gpt2Lm, prompt: &[u32], seed: u64, cfg: &SamplerConfig) -> Vec<u32> {
+    let bm = model.batch_model().expect("tiny config is batch-ready");
+    let mut engine = BatchGenerator::new(bm, engine_cfg(0));
+    let id = engine.admit(req(prompt, seed, cfg)).expect("admit solo");
+    engine.run_to_completion(bm, id).expect("pool sized for solo")
+}
+
+#[test]
+fn batch_of_2_and_7_match_solo_byte_for_byte() {
+    let model = tiny();
+    let bm = model.batch_model().unwrap();
+    let cfg = sampled(12);
+    // Seven requests with distinct prompts, lengths and seeds; prompt
+    // lengths straddle the block size so prefill crosses boundaries.
+    let prompts: Vec<Vec<u32>> = (0..7u32)
+        .map(|i| (0..(3 + i as usize)).map(|t| (2 + i + t as u32) % 16).collect())
+        .collect();
+    let solos: Vec<Vec<u32>> = prompts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| solo(&model, p, 100 + i as u64, &cfg))
+        .collect();
+
+    for batch in [2usize, 7] {
+        let mut engine = BatchGenerator::new(bm, engine_cfg(0));
+        let ids: Vec<u64> = prompts[..batch]
+            .iter()
+            .enumerate()
+            .map(|(i, p)| engine.admit(req(p, 100 + i as u64, &cfg)).expect("admit"))
+            .collect();
+        let mut got: Vec<Option<Vec<u32>>> = vec![None; batch];
+        while got.iter().any(Option::is_none) {
+            let out = engine.step(bm).expect("pool sized for batch");
+            assert!(out.batch_size > 0, "engine idled with sequences pending");
+            for f in out.finished {
+                let slot = ids.iter().position(|&id| id == f.id).expect("known id");
+                got[slot] = Some(f.tokens);
+            }
+        }
+        for (i, tokens) in got.into_iter().enumerate() {
+            assert_eq!(
+                tokens.as_deref().map(|t| t.to_vec()),
+                Some(solos[i].clone()),
+                "request {i} diverged from its solo stream in a batch of {batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_decode_admission_does_not_perturb_the_running_sequence() {
+    let model = tiny();
+    let bm = model.batch_model().unwrap();
+    let cfg = sampled(16);
+    let a_prompt = [3u32, 7, 1, 9, 4];
+    let b_prompt = [8u32, 8, 2];
+    let a_solo = solo(&model, &a_prompt, 11, &cfg);
+    let b_solo = solo(&model, &b_prompt, 22, &cfg);
+
+    let mut engine = BatchGenerator::new(bm, engine_cfg(0));
+    let a = engine.admit(req(&a_prompt, 11, &cfg)).unwrap();
+    // A decodes alone past its prefill before B arrives mid-stream.
+    for _ in 0..8 {
+        let out = engine.step(bm).unwrap();
+        assert!(out.finished.is_empty(), "A finished before B was admitted");
+    }
+    let b = engine.admit(req(&b_prompt, 22, &cfg)).unwrap();
+    let mut streams = [None, None];
+    while streams.iter().any(Option::is_none) {
+        for f in engine.step(bm).unwrap().finished {
+            if f.id == a {
+                streams[0] = Some(f.tokens);
+            } else if f.id == b {
+                streams[1] = Some(f.tokens);
+            }
+        }
+    }
+    assert_eq!(streams[0].as_ref(), Some(&a_solo), "late arrival perturbed A");
+    assert_eq!(streams[1].as_ref(), Some(&b_solo), "joining a running batch perturbed B");
+}
+
+#[test]
+fn shared_prefix_blocks_reproduce_the_computed_stream() {
+    let model = tiny();
+    let bm = model.batch_model().unwrap();
+    let cfg = sampled(10);
+    // 9-token prompt → 2 full 4-token blocks of shareable prefix.
+    let prompt = [5u32, 1, 12, 3, 9, 0, 7, 2, 6];
+    let expected = solo(&model, &prompt, 77, &cfg);
+
+    // Sharing OFF: baseline block consumption for the second admission.
+    let mut off = BatchGenerator::new(bm, engine_cfg(0));
+    let first = off.admit(req(&prompt, 77, &cfg)).unwrap();
+    let off_first = off.run_to_completion(bm, first).unwrap();
+    let free_before = off.free_blocks();
+    let second = off.admit(req(&prompt, 77, &cfg)).unwrap();
+    let alloc_off = free_before - off.free_blocks();
+    let off_second = off.run_to_completion(bm, second).unwrap();
+
+    // Sharing ON: the first run registers the prefix; the second adopts
+    // its blocks instead of allocating fresh ones.
+    let mut on = BatchGenerator::new(bm, engine_cfg(8));
+    let first = on.admit(req(&prompt, 77, &cfg)).unwrap();
+    let on_first = on.run_to_completion(bm, first).unwrap();
+    let free_before = on.free_blocks();
+    let second = on.admit(req(&prompt, 77, &cfg)).unwrap();
+    let alloc_on = free_before - on.free_blocks();
+    let on_second = on.run_to_completion(bm, second).unwrap();
+
+    assert_eq!(off_first, expected);
+    assert_eq!(off_second, expected);
+    assert_eq!(on_first, expected, "prefix registration changed the stream");
+    assert_eq!(
+        on_second, expected,
+        "decoding from adopted shared-prefix blocks changed the stream"
+    );
+    assert!(
+        alloc_on < alloc_off,
+        "prefix sharing saved no blocks (on: {alloc_on}, off: {alloc_off})"
+    );
+}
+
+#[test]
+fn greedy_streams_are_identical_across_all_compositions() {
+    let model = tiny();
+    let bm = model.batch_model().unwrap();
+    let cfg = SamplerConfig {
+        max_tokens: 14,
+        greedy: true,
+        ..sampled(14)
+    };
+    let prompt = [2u32, 13, 4, 4, 10];
+    let alone = solo(&model, &prompt, 0, &cfg);
+
+    let mut engine = BatchGenerator::new(bm, engine_cfg(4));
+    let ids: Vec<u64> = (0..5u64)
+        .map(|s| engine.admit(req(&prompt, s, &cfg)).unwrap())
+        .collect();
+    let mut done = 0usize;
+    while done < ids.len() {
+        for f in engine.step(bm).unwrap().finished {
+            assert_eq!(
+                f.tokens, alone,
+                "greedy decode must be seed- and batch-independent"
+            );
+            done += 1;
+        }
+    }
+}

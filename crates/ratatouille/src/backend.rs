@@ -96,6 +96,26 @@ impl RecipeBackend for ModelBackend {
         }
     }
 
+    fn generate_seeded(
+        &mut self,
+        ingredients: &[String],
+        dtype: &str,
+        seed: Option<u64>,
+    ) -> GeneratedRecipe {
+        match seed {
+            // A pinned seed decodes from a fresh RNG so the result
+            // depends only on (weights, prompt, seed) — replayable.
+            Some(s) => {
+                let mut rng = StdRng::seed_from_u64(s);
+                std::mem::swap(&mut self.rng, &mut rng);
+                let out = self.generate_with_dtype(ingredients, dtype);
+                self.rng = rng;
+                out
+            }
+            None => self.generate_with_dtype(ingredients, dtype),
+        }
+    }
+
     fn dtypes(&self) -> Vec<String> {
         let mut out = vec!["f32".to_string()];
         if let Some(q) = &self.quant {

@@ -21,10 +21,12 @@
 
 
 pub mod backend;
+pub mod batch_backend;
 pub mod config;
 pub mod pipeline;
 
 pub use backend::ModelBackend;
+pub use batch_backend::BatchModelBackend;
 pub use config::PipelineConfig;
 pub use pipeline::{Pipeline, TrainedModel};
 

@@ -301,7 +301,7 @@ impl TrainedModel {
 
 /// Generation budgets per row: char-level recipes need ~4–6× more tokens
 /// than word/BPE ones.
-fn generation_budget(kind: ModelKind) -> usize {
+pub(crate) fn generation_budget(kind: ModelKind) -> usize {
     match kind {
         ModelKind::CharLstm => 1100,
         ModelKind::WordLstm => 220,

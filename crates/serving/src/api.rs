@@ -88,6 +88,19 @@ pub trait RecipeBackend {
         self.generate(ingredients)
     }
 
+    /// Generate with a pinned sampling seed (the request's `"seed"`
+    /// field): same seed, same recipe. The default ignores the seed —
+    /// backends without seeded decoding stay nondeterministic.
+    fn generate_seeded(
+        &mut self,
+        ingredients: &[String],
+        dtype: &str,
+        seed: Option<u64>,
+    ) -> GeneratedRecipe {
+        let _ = seed;
+        self.generate_with_dtype(ingredients, dtype)
+    }
+
     /// The weight dtypes this backend can serve; the first entry is the
     /// default when a request names none. The server validates
     /// `?dtype=…` against this set at request time (400 otherwise).
@@ -104,11 +117,15 @@ pub struct ApiServer {
     server: HttpServer,
     model_name: String,
     stats: Arc<ApiStats>,
+    /// Present on the continuous-batching stack: kept so the runner
+    /// outlives the HTTP handlers and joins on drop.
+    batch: Option<Arc<crate::batch::BatchRunner>>,
 }
 
 struct GenJob {
     ingredients: Vec<String>,
     dtype: String,
+    seed: Option<u64>,
 }
 
 struct GenOut {
@@ -142,7 +159,7 @@ impl ApiServer {
                 let mut backend = factory(wi);
                 move |job: GenJob| {
                     let start = obs::Clock::now();
-                    let recipe = backend.generate_with_dtype(&job.ingredients, &job.dtype);
+                    let recipe = backend.generate_seeded(&job.ingredients, &job.dtype, job.seed);
                     let ns = start.elapsed_ns();
                     obs::static_histogram!("generate_latency_ns").observe(ns);
                     GenOut {
@@ -205,6 +222,71 @@ impl ApiServer {
             server,
             model_name,
             stats,
+            batch: None,
+        })
+    }
+
+    /// Boot the continuous-batching stack: one model replica behind a
+    /// [`crate::batch::BatchRunner`] instead of a worker pool. Queued
+    /// requests coalesce into multi-sequence decode steps; the rest of
+    /// the route surface is identical to [`ApiServer::start`].
+    ///
+    /// Batched decoding serves f32 only (the blocked KV cache is f32),
+    /// so the model card lists a single dtype.
+    pub fn start_batched(
+        addr: &str,
+        cfg: crate::batch::BatchServerConfig,
+        factory: crate::batch::StepBackendFactory,
+    ) -> std::io::Result<ApiServer> {
+        let runner = Arc::new(crate::batch::BatchRunner::start(cfg, factory)?);
+        let model_name = runner.model_name().to_string();
+        let stats = Arc::new(ApiStats::default());
+
+        let model_for_routes = model_name.clone();
+        let stats_for_gen = Arc::clone(&stats);
+        let stats_for_route = Arc::clone(&stats);
+        let runner_for_gen = Arc::clone(&runner);
+        let router = Router::new()
+            .route("GET", "/", |_req| Response::html(frontend::INDEX_HTML))
+            .route("GET", "/api/health", move |_req| {
+                let body = Json::object(vec![
+                    ("status", Json::string("ok")),
+                    // One replica; concurrency lives inside the batch.
+                    ("workers", Json::Number(1.0)),
+                ]);
+                Response::json(StatusCode::Ok, body.to_string())
+            })
+            .route("GET", "/api/models", move |_req| {
+                let body = Json::object(vec![
+                    ("models", Json::string_array(&[model_for_routes.as_str()])),
+                    ("dtypes", Json::string_array(&["f32"])),
+                ]);
+                Response::json(StatusCode::Ok, body.to_string())
+            })
+            .route("GET", "/api/stats", move |_req| {
+                Response::json(StatusCode::Ok, stats_for_route.to_json(1).to_string())
+            })
+            .route("POST", "/api/generate", move |req| {
+                handle_generate_batched(req, &runner_for_gen, &stats_for_gen)
+            })
+            .route("GET", "/healthz", |_req| {
+                Response::text(StatusCode::Ok, "ok")
+            })
+            .route("GET", "/metrics", |_req| Response {
+                status: StatusCode::Ok,
+                content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+                body: obs::metrics::render_prometheus().into_bytes(),
+            })
+            .route("GET", "/debug/stacks", |_req| {
+                Response::text(StatusCode::Ok, obs::trace::folded_stacks())
+            });
+
+        let server = HttpServer::start(addr, move |req| router.dispatch(&req))?;
+        Ok(ApiServer {
+            server,
+            model_name,
+            stats,
+            batch: Some(runner),
         })
     }
 
@@ -223,10 +305,116 @@ impl ApiServer {
         &self.model_name
     }
 
-    /// Graceful shutdown.
+    /// Graceful shutdown: stop accepting, then drain the batch runner
+    /// (if any) so every accepted request still answers.
     pub fn stop(self) {
         self.server.stop();
+        drop(self.batch);
     }
+}
+
+fn handle_generate_batched(
+    req: &Request,
+    runner: &crate::batch::BatchRunner,
+    stats: &ApiStats,
+) -> Response {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    let dtype = query_param(&req.query, "dtype").unwrap_or("f32");
+    if dtype != "f32" {
+        stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            StatusCode::BadRequest,
+            Json::object(vec![(
+                "error",
+                Json::string(format!(
+                    "unsupported dtype `{dtype}`; batched serving is f32-only"
+                )),
+            )])
+            .to_string(),
+        );
+    }
+    let (ingredients, seed) = match parse_generate_body(req, stats) {
+        Ok(ok) => ok,
+        Err(resp) => return resp,
+    };
+    match runner.submit(ingredients, seed) {
+        Ok(out) => {
+            stats.generated.fetch_add(1, Ordering::Relaxed);
+            stats
+                .latency_us_sum
+                .fetch_add((out.latency_ms * 1000.0) as u64, Ordering::Relaxed);
+            let body = Json::object(vec![
+                ("title", Json::string(out.recipe.title)),
+                ("ingredients", Json::string_array(&out.recipe.ingredients)),
+                ("instructions", Json::string_array(&out.recipe.instructions)),
+                ("well_formed", Json::Bool(out.recipe.well_formed)),
+                ("model", Json::string(runner.model_name())),
+                ("dtype", Json::string("f32")),
+                ("latency_ms", Json::Number(out.latency_ms)),
+            ]);
+            Response::json(StatusCode::Ok, body.to_string())
+        }
+        Err(crate::batch::SubmitError::PoolExhausted) => {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                StatusCode::TooManyRequests,
+                Json::object(vec![(
+                    "error",
+                    Json::string("KV cache exhausted; shrink the request or retry later"),
+                )])
+                .to_string(),
+            )
+        }
+        Err(crate::batch::SubmitError::QueueFull) => {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                StatusCode::ServiceUnavailable,
+                Json::object(vec![("error", Json::string("server overloaded, retry"))])
+                    .to_string(),
+            )
+        }
+        Err(crate::batch::SubmitError::Closed) => Response::json(
+            StatusCode::InternalServerError,
+            Json::object(vec![("error", Json::string("batch runner is shut down"))]).to_string(),
+        ),
+    }
+}
+
+/// Parse a generate request body: a non-empty `"ingredients"` string
+/// array plus an optional non-negative integer `"seed"`. Shared by the
+/// worker-pool and batched handlers; errors arrive as ready 400s.
+fn parse_generate_body(
+    req: &Request,
+    stats: &ApiStats,
+) -> Result<(Vec<String>, Option<u64>), Response> {
+    let bad = |msg: String| {
+        stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        Response::json(
+            StatusCode::BadRequest,
+            Json::object(vec![("error", Json::string(msg))]).to_string(),
+        )
+    };
+    let parsed = match Json::parse(&req.body_str()) {
+        Ok(v) => v,
+        Err(e) => return Err(bad(format!("invalid json: {e}"))),
+    };
+    let ingredients = parsed
+        .get("ingredients")
+        .map(Json::as_string_vec)
+        .unwrap_or_default();
+    if ingredients.is_empty() {
+        return Err(bad(
+            "`ingredients` must be a non-empty array of strings".to_string(),
+        ));
+    }
+    let seed = match parsed.get("seed") {
+        None => None,
+        Some(v) => match v.as_f64() {
+            Some(s) if s >= 0.0 && s.fract() == 0.0 && s <= u64::MAX as f64 => Some(s as u64),
+            _ => return Err(bad("`seed` must be a non-negative integer".to_string())),
+        },
+    };
+    Ok((ingredients, seed))
 }
 
 /// First value for `key` in a `k=v&k2=v2` query string.
@@ -260,35 +448,14 @@ fn handle_generate(
             .to_string(),
         );
     }
-    let parsed = match Json::parse(&req.body_str()) {
-        Ok(v) => v,
-        Err(e) => {
-            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return Response::json(
-                StatusCode::BadRequest,
-                Json::object(vec![("error", Json::string(format!("invalid json: {e}")))])
-                    .to_string(),
-            );
-        }
+    let (ingredients, seed) = match parse_generate_body(req, stats) {
+        Ok(ok) => ok,
+        Err(resp) => return resp,
     };
-    let ingredients = parsed
-        .get("ingredients")
-        .map(Json::as_string_vec)
-        .unwrap_or_default();
-    if ingredients.is_empty() {
-        stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-        return Response::json(
-            StatusCode::BadRequest,
-            Json::object(vec![(
-                "error",
-                Json::string("`ingredients` must be a non-empty array of strings"),
-            )])
-            .to_string(),
-        );
-    }
     match pool.execute(GenJob {
         ingredients,
         dtype: dtype.to_string(),
+        seed,
     }) {
         Ok(out) => {
             stats.generated.fetch_add(1, Ordering::Relaxed);

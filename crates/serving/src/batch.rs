@@ -1,0 +1,725 @@
+//! Continuous-batching request scheduling (the vLLM-style serving path).
+//!
+//! The per-request [`crate::worker::WorkerPool`] gives each request its
+//! own model replica and decodes it alone — fine at low load, wasteful
+//! the moment `serving_queue_depth` climbs: every queued request pays a
+//! full per-token GEMV while its neighbours wait. This module replaces
+//! the pool with **one** model replica driven by a [`BatchRunner`]
+//! thread that coalesces queued requests into a single batched decode
+//! pass, admitting new requests and retiring finished ones *between
+//! token steps* (continuous batching), so one `[B, D]` GEMM serves B
+//! requests per step.
+//!
+//! The runner is generic over [`StepBackend`] — the models side
+//! (`ratatouille::BatchModelBackend`) adapts `BatchGenerator` to it —
+//! so this crate stays model-free and the scheduler is testable with a
+//! scripted fake.
+//!
+//! Scheduling policy, deliberately simple and deterministic:
+//!
+//! * requests are admitted FIFO whenever the backend has a slot *and*
+//!   pool capacity; admission order never depends on timing races
+//!   because only the runner thread admits;
+//! * a [`Scheduler`] watches the queue depth with hysteresis: above
+//!   `depth_hi` it enters *coalescing* mode (an idle-batch step first
+//!   waits up to `coalesce_wait_ms` for another arrival so steps run
+//!   fuller), below `depth_lo` it leaves it (latency wins again);
+//! * a request the pool cannot cover even when the batch is empty is
+//!   rejected with [`SubmitError::PoolExhausted`] — the API maps it to
+//!   429 (`Retry-After` semantics), distinct from the 503 a full
+//!   submission queue produces.
+//!
+//! Batching never changes bytes: the backend's determinism contract
+//! (see `ratatouille_models::batch`) guarantees every admitted request
+//! streams the same tokens it would have streamed solo.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::api::GeneratedRecipe;
+
+/// Queue-depth hysteresis: decides when the runner should trade a little
+/// latency (waiting for stragglers) for a fuller batch. Pure state
+/// machine — unit-testable without threads.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    depth_hi: usize,
+    depth_lo: usize,
+    coalescing: bool,
+}
+
+impl Scheduler {
+    /// Hysteresis band: coalesce at `depth >= depth_hi`, stop at
+    /// `depth <= depth_lo`. `depth_lo` is clamped below `depth_hi`.
+    pub fn new(depth_hi: usize, depth_lo: usize) -> Self {
+        let hi = depth_hi.max(1);
+        Scheduler {
+            depth_hi: hi,
+            depth_lo: depth_lo.min(hi.saturating_sub(1)),
+            coalescing: false,
+        }
+    }
+
+    /// Feed the current queue depth (waiting, not yet admitted).
+    /// Depths inside the band keep the previous mode (hysteresis).
+    pub fn observe_depth(&mut self, depth: usize) {
+        if depth >= self.depth_hi {
+            self.coalescing = true;
+        } else if depth <= self.depth_lo {
+            self.coalescing = false;
+        }
+    }
+
+    /// Whether the runner is in coalescing mode.
+    pub fn coalescing(&self) -> bool {
+        self.coalescing
+    }
+
+    /// How many waiting requests to admit right now, given the
+    /// backend's free slots. FIFO and greedy: continuous batching fills
+    /// every free slot every step; the coalescing mode only governs
+    /// *waiting for more arrivals*, never holds back work already here.
+    pub fn admit_quota(&self, free_slots: usize, waiting: usize) -> usize {
+        free_slots.min(waiting)
+    }
+
+    /// Whether to pause briefly for more arrivals before stepping a
+    /// non-full batch: only in coalescing mode, only when nothing is
+    /// waiting (anything waiting would be admitted instead).
+    pub fn should_coalesce_wait(&self, free_slots: usize, waiting: usize) -> bool {
+        self.coalescing && free_slots > 0 && waiting == 0
+    }
+}
+
+/// Why a batched admission was refused by the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// Admitted; the id tags this request in [`StepBackend::step`]
+    /// results.
+    Admitted(u64),
+    /// The KV pool cannot cover the request's worst case — surfaced to
+    /// the client as 429.
+    PoolExhausted,
+    /// No batch slot free — the runner re-queues and retries next step.
+    BatchFull,
+}
+
+/// One model replica that decodes many requests a token step at a time.
+///
+/// Implementations live on the models side; the runner only needs these
+/// four verbs. Backends are built *inside* the runner thread (models
+/// hold non-`Send` `Rc` autograd handles) via [`StepBackendFactory`].
+pub trait StepBackend {
+    /// Model card name (served at `/api/models`).
+    fn model_name(&self) -> String;
+
+    /// Try to admit a request. `seed` pins the sampling RNG (the
+    /// "same seed, same output" contract); `None` lets the backend pick.
+    fn admit(&mut self, ingredients: &[String], seed: Option<u64>) -> AdmitOutcome;
+
+    /// Run one token step for every active sequence; returns the
+    /// requests that finished this step as `(id, recipe)`.
+    fn step(&mut self) -> Vec<(u64, GeneratedRecipe)>;
+
+    /// Currently decoding sequences.
+    fn active(&self) -> usize;
+
+    /// Free batch slots (`max_batch - active`).
+    fn free_slots(&self) -> usize;
+}
+
+/// Built inside the runner thread, once.
+pub type StepBackendFactory = Arc<dyn Fn() -> Box<dyn StepBackend> + Send + Sync>;
+
+/// Batched-serving knobs.
+#[derive(Debug, Clone)]
+pub struct BatchServerConfig {
+    /// Bound on the submission queue (overflow → 503).
+    pub queue_cap: usize,
+    /// Queue depth that turns coalescing on.
+    pub depth_hi: usize,
+    /// Queue depth that turns coalescing off.
+    pub depth_lo: usize,
+    /// How long a coalescing, non-full batch waits for one more arrival
+    /// before stepping anyway.
+    pub coalesce_wait_ms: u64,
+}
+
+impl Default for BatchServerConfig {
+    fn default() -> Self {
+        BatchServerConfig {
+            queue_cap: 64,
+            depth_hi: 2,
+            depth_lo: 0,
+            coalesce_wait_ms: 2,
+        }
+    }
+}
+
+/// Submission failures, in order of decreasing client fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded submission queue is full — 503, retry.
+    QueueFull,
+    /// The KV block pool cannot cover this request even alone — 429.
+    PoolExhausted,
+    /// The runner is shut down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue full"),
+            SubmitError::PoolExhausted => write!(f, "KV block pool exhausted"),
+            SubmitError::Closed => write!(f, "batch runner is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A finished batched generation.
+#[derive(Debug, Clone)]
+pub struct BatchOut {
+    /// The generated recipe.
+    pub recipe: GeneratedRecipe,
+    /// End-to-end latency (enqueue → finished), milliseconds.
+    pub latency_ms: f64,
+}
+
+struct BatchJob {
+    ingredients: Vec<String>,
+    seed: Option<u64>,
+    reply: SyncSender<Result<BatchOut, SubmitError>>,
+    enqueued_ns: u64,
+}
+
+struct InFlight {
+    reply: SyncSender<Result<BatchOut, SubmitError>>,
+    enqueued_ns: u64,
+}
+
+/// The continuous-batching serving loop: one thread, one model replica,
+/// many concurrent requests.
+pub struct BatchRunner {
+    tx: Option<SyncSender<BatchJob>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    model_name: String,
+    /// Submitted-but-not-yet-admitted count, shared with the runner
+    /// thread. The queue bound is enforced here (the runner drains the
+    /// channel eagerly, so channel capacity alone can't backpressure).
+    depth: Arc<AtomicU64>,
+    queue_cap: u64,
+}
+
+impl BatchRunner {
+    /// Spawn the runner thread; blocks until the backend is built and
+    /// reports its model name.
+    ///
+    /// # Errors
+    /// The OS error if the thread cannot spawn, or `InvalidData` if the
+    /// backend factory panics during construction.
+    pub fn start(cfg: BatchServerConfig, factory: StepBackendFactory) -> std::io::Result<Self> {
+        let queue_cap = cfg.queue_cap.max(1) as u64;
+        let (tx, rx) = sync_channel::<BatchJob>(cfg.queue_cap.max(1));
+        let (name_tx, name_rx) = sync_channel::<String>(1);
+        let depth = Arc::new(AtomicU64::new(0));
+        let depth_for_runner = Arc::clone(&depth);
+        let handle = std::thread::Builder::new()
+            .name("batch-runner".into())
+            .spawn(move || {
+                let mut backend = factory();
+                let _ = name_tx.send(backend.model_name());
+                run_loop(&rx, backend.as_mut(), &cfg, &depth_for_runner);
+            })?;
+        let model_name = name_rx.recv().map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "batch backend failed to construct",
+            )
+        })?;
+        Ok(BatchRunner {
+            tx: Some(tx),
+            handle: Some(handle),
+            model_name,
+            depth,
+            queue_cap,
+        })
+    }
+
+    /// The served model's card name.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Submit a request and block until it finishes (the HTTP handler's
+    /// calling convention). Rejects immediately when the queue is full.
+    pub fn submit(
+        &self,
+        ingredients: Vec<String>,
+        seed: Option<u64>,
+    ) -> Result<BatchOut, SubmitError> {
+        let tx = self.tx.as_ref().ok_or(SubmitError::Closed)?;
+        // Exact backpressure: claim a queue slot before sending, give it
+        // back on rejection (the runner gives it back at admission).
+        let prev = self.depth.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.queue_cap {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            obs::static_counter!("serving_queue_rejections_total").inc();
+            return Err(SubmitError::QueueFull);
+        }
+        obs::static_gauge!("serving_queue_depth").add(1.0);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let send = tx.send(BatchJob {
+            ingredients,
+            seed,
+            reply: reply_tx,
+            enqueued_ns: obs::Clock::now().at_ns(),
+        });
+        if send.is_err() {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            obs::static_gauge!("serving_queue_depth").add(-1.0);
+            return Err(SubmitError::Closed);
+        }
+        match reply_rx.recv() {
+            Ok(out) => out,
+            Err(_) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Shut down: close the queue and join the runner (it drains active
+    /// sequences first so no accepted request is dropped).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BatchRunner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The runner loop, factored out so tests can drive it with a scripted
+/// backend on a plain channel.
+fn run_loop(
+    rx: &Receiver<BatchJob>,
+    backend: &mut dyn StepBackend,
+    cfg: &BatchServerConfig,
+    depth: &AtomicU64,
+) {
+    let mut scheduler = Scheduler::new(cfg.depth_hi, cfg.depth_lo);
+    let mut waiting: VecDeque<BatchJob> = VecDeque::new();
+    let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
+    let mut disconnected = false;
+
+    loop {
+        // Pull in everything that arrived since the last step without
+        // blocking — admissions happen *between* token steps.
+        loop {
+            match rx.try_recv() {
+                Ok(job) => waiting.push_back(job),
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        // Fully idle: block until work arrives (or shut down, having
+        // drained every accepted request).
+        if waiting.is_empty() && backend.active() == 0 {
+            if disconnected {
+                break;
+            }
+            match rx.recv() {
+                Ok(job) => waiting.push_back(job),
+                Err(_) => {
+                    disconnected = true;
+                    continue;
+                }
+            }
+        }
+
+        scheduler.observe_depth(waiting.len());
+
+        // Admit FIFO up to the backend's free slots. Only this thread
+        // admits, so composition (and therefore output bytes — see the
+        // determinism contract) is reproducible from arrival order.
+        let quota = scheduler.admit_quota(backend.free_slots(), waiting.len());
+        for _ in 0..quota {
+            let Some(job) = waiting.pop_front() else { break };
+            match backend.admit(&job.ingredients, job.seed) {
+                AdmitOutcome::Admitted(id) => {
+                    depth.fetch_sub(1, Ordering::SeqCst);
+                    obs::static_gauge!("serving_queue_depth").add(-1.0);
+                    obs::static_histogram!("serving_queue_wait_ns").observe(
+                        obs::Clock::now().at_ns().saturating_sub(job.enqueued_ns),
+                    );
+                    inflight.insert(
+                        id,
+                        InFlight {
+                            reply: job.reply,
+                            enqueued_ns: job.enqueued_ns,
+                        },
+                    );
+                }
+                AdmitOutcome::PoolExhausted if backend.active() > 0 => {
+                    // Transient: blocks are held by in-flight requests.
+                    // Head-of-line wait for retirements instead of a
+                    // spurious 429.
+                    waiting.push_front(job);
+                    break;
+                }
+                AdmitOutcome::PoolExhausted => {
+                    // Even an idle engine cannot cover this request.
+                    depth.fetch_sub(1, Ordering::SeqCst);
+                    obs::static_gauge!("serving_queue_depth").add(-1.0);
+                    obs::static_counter!("serving_pool_rejections_total").inc();
+                    let _ = job.reply.send(Err(SubmitError::PoolExhausted));
+                }
+                AdmitOutcome::BatchFull => {
+                    // Slot accounting raced a retirement; retry next step.
+                    waiting.push_front(job);
+                    break;
+                }
+            }
+        }
+
+        // Under load, give a non-full batch one short chance to fill
+        // before paying a step for it.
+        if !disconnected && scheduler.should_coalesce_wait(backend.free_slots(), waiting.len()) {
+            match rx.recv_timeout(Duration::from_millis(cfg.coalesce_wait_ms)) {
+                Ok(job) => {
+                    waiting.push_back(job);
+                    continue; // admit it before stepping
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+        }
+
+        if backend.active() == 0 {
+            continue;
+        }
+        let step_start = obs::Clock::now();
+        let finished = backend.step();
+        obs::static_histogram!("serving_exec_ns").observe(step_start.elapsed_ns());
+        for (id, recipe) in finished {
+            if let Some(fl) = inflight.remove(&id) {
+                let latency_ns = obs::Clock::now().at_ns().saturating_sub(fl.enqueued_ns);
+                obs::static_histogram!("generate_latency_ns").observe(latency_ns);
+                let _ = fl.reply.send(Ok(BatchOut {
+                    recipe,
+                    latency_ms: latency_ns as f64 / 1e6,
+                }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn recipe(tag: &str) -> GeneratedRecipe {
+        GeneratedRecipe {
+            title: tag.to_string(),
+            ingredients: vec![],
+            instructions: vec![],
+            well_formed: true,
+        }
+    }
+
+    /// A scripted backend: each admitted request finishes after a fixed
+    /// number of steps; capacity and pool size are programmable.
+    struct FakeBackend {
+        max_batch: usize,
+        pool_tokens: usize,
+        steps_to_finish: usize,
+        /// Simulated per-step decode time, so tests can force requests
+        /// to overlap in wall-clock time.
+        step_delay: Duration,
+        active: Vec<(u64, usize)>, // (id, steps remaining)
+        next_id: u64,
+        log: Arc<Mutex<Vec<String>>>,
+        batch_sizes: Arc<Mutex<Vec<usize>>>,
+    }
+
+    impl FakeBackend {
+        fn new(max_batch: usize, pool_tokens: usize, steps_to_finish: usize) -> Self {
+            FakeBackend {
+                max_batch,
+                pool_tokens,
+                steps_to_finish,
+                step_delay: Duration::ZERO,
+                active: Vec::new(),
+                next_id: 0,
+                log: Arc::new(Mutex::new(Vec::new())),
+                batch_sizes: Arc::new(Mutex::new(Vec::new())),
+            }
+        }
+    }
+
+    impl StepBackend for FakeBackend {
+        fn model_name(&self) -> String {
+            "fake".into()
+        }
+
+        fn admit(&mut self, ingredients: &[String], _seed: Option<u64>) -> AdmitOutcome {
+            if self.active.len() >= self.max_batch {
+                return AdmitOutcome::BatchFull;
+            }
+            // Model the worst-case reservation: one "token" per
+            // ingredient, drawn from a fixed pool.
+            let need = ingredients.len();
+            let used: usize = self.active.iter().map(|_| 1).sum();
+            if need + used > self.pool_tokens {
+                return AdmitOutcome::PoolExhausted;
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            self.active.push((id, self.steps_to_finish));
+            self.log.lock().unwrap().push(format!("admit {id}"));
+            AdmitOutcome::Admitted(id)
+        }
+
+        fn step(&mut self) -> Vec<(u64, GeneratedRecipe)> {
+            self.batch_sizes.lock().unwrap().push(self.active.len());
+            if !self.step_delay.is_zero() {
+                std::thread::sleep(self.step_delay);
+            }
+            let mut done = Vec::new();
+            self.active.retain_mut(|(id, left)| {
+                *left -= 1;
+                if *left == 0 {
+                    done.push((*id, recipe(&format!("r{id}"))));
+                    false
+                } else {
+                    true
+                }
+            });
+            done
+        }
+
+        fn active(&self) -> usize {
+            self.active.len()
+        }
+
+        fn free_slots(&self) -> usize {
+            self.max_batch - self.active.len()
+        }
+    }
+
+    fn start_fake(
+        cfg: BatchServerConfig,
+        max_batch: usize,
+        pool_tokens: usize,
+        steps: usize,
+        step_delay_ms: u64,
+    ) -> (BatchRunner, Arc<Mutex<Vec<usize>>>) {
+        let sizes = Arc::new(Mutex::new(Vec::new()));
+        let sizes2 = Arc::clone(&sizes);
+        let runner = BatchRunner::start(
+            cfg,
+            Arc::new(move |/* built in-thread */| {
+                let mut b = FakeBackend::new(max_batch, pool_tokens, steps);
+                b.step_delay = Duration::from_millis(step_delay_ms);
+                b.batch_sizes = Arc::clone(&sizes2);
+                Box::new(b) as Box<dyn StepBackend>
+            }),
+        )
+        .unwrap();
+        (runner, sizes)
+    }
+
+    #[test]
+    fn scheduler_hysteresis_is_sticky() {
+        let mut s = Scheduler::new(4, 1);
+        assert!(!s.coalescing());
+        s.observe_depth(3);
+        assert!(!s.coalescing(), "below hi stays off");
+        s.observe_depth(4);
+        assert!(s.coalescing(), "at hi turns on");
+        s.observe_depth(2);
+        assert!(s.coalescing(), "inside the band stays on (sticky)");
+        s.observe_depth(1);
+        assert!(!s.coalescing(), "at lo turns off");
+        s.observe_depth(3);
+        assert!(!s.coalescing(), "inside the band stays off (sticky)");
+    }
+
+    #[test]
+    fn scheduler_quota_and_wait_policy() {
+        let mut s = Scheduler::new(2, 0);
+        assert_eq!(s.admit_quota(3, 5), 3, "capped by free slots");
+        assert_eq!(s.admit_quota(8, 2), 2, "capped by waiting");
+        assert!(!s.should_coalesce_wait(3, 0), "no wait when not coalescing");
+        s.observe_depth(2);
+        assert!(s.should_coalesce_wait(3, 0));
+        assert!(!s.should_coalesce_wait(0, 0), "full batch never waits");
+        assert!(
+            !s.should_coalesce_wait(3, 1),
+            "waiting work is admitted, not waited on"
+        );
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let (runner, _) = start_fake(BatchServerConfig::default(), 4, 100, 3, 0);
+        let out = runner.submit(vec!["flour".into()], Some(1)).unwrap();
+        assert_eq!(out.recipe.title, "r0");
+        assert!(out.latency_ms >= 0.0);
+        runner.stop();
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_batches() {
+        // Slow finishes (64 steps) so all 6 submissions overlap.
+        let (runner, sizes) = start_fake(BatchServerConfig::default(), 8, 100, 64, 1);
+        let runner = Arc::new(runner);
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let r = Arc::clone(&runner);
+                std::thread::spawn(move || r.submit(vec![format!("ing{i}")], Some(i)).unwrap())
+            })
+            .collect();
+        let mut titles: Vec<String> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().recipe.title)
+            .collect();
+        titles.sort();
+        assert_eq!(titles.len(), 6);
+        let max_batch = *sizes.lock().unwrap().iter().max().unwrap();
+        assert!(
+            max_batch >= 2,
+            "overlapping requests never shared a step (max batch {max_batch})"
+        );
+    }
+
+    #[test]
+    fn mid_decode_arrival_joins_the_running_batch() {
+        let (runner, sizes) = start_fake(BatchServerConfig::default(), 4, 100, 200, 1);
+        let runner = Arc::new(runner);
+        let r1 = Arc::clone(&runner);
+        let h1 = std::thread::spawn(move || r1.submit(vec!["a".into()], Some(1)).unwrap());
+        // Let the first request start decoding alone…
+        std::thread::sleep(Duration::from_millis(20));
+        let r2 = Arc::clone(&runner);
+        let h2 = std::thread::spawn(move || r2.submit(vec!["b".into()], Some(2)).unwrap());
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let sizes = sizes.lock().unwrap();
+        assert!(sizes.contains(&1), "first request ran solo initially");
+        assert!(sizes.contains(&2), "second request joined mid-decode");
+    }
+
+    #[test]
+    fn finish_mid_step_frees_the_slot_for_the_queue() {
+        // Capacity 1: the second request can only run after the first
+        // retires, admitted by the same loop without external nudging.
+        let (runner, _) = start_fake(BatchServerConfig::default(), 1, 100, 3, 0);
+        let runner = Arc::new(runner);
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let r = Arc::clone(&runner);
+                std::thread::spawn(move || r.submit(vec![format!("x{i}")], Some(i)).unwrap())
+            })
+            .collect();
+        let mut titles: Vec<String> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().recipe.title)
+            .collect();
+        titles.sort();
+        assert_eq!(titles, vec!["r0", "r1", "r2"]);
+    }
+
+    #[test]
+    fn drains_queue_to_empty_and_idles() {
+        let (runner, sizes) = start_fake(BatchServerConfig::default(), 8, 100, 2, 0);
+        for i in 0..5 {
+            runner.submit(vec![format!("i{i}")], Some(i)).unwrap();
+        }
+        // All finished; the runner is blocked idle (no busy spinning):
+        // step count is bounded by work actually done.
+        let steps = sizes.lock().unwrap().len();
+        assert!(steps <= 5 * 2, "idle runner kept stepping ({steps} steps)");
+        runner.stop();
+    }
+
+    #[test]
+    fn pool_exhausted_maps_to_submit_error() {
+        // Pool of 2 "tokens": a 3-ingredient request can never fit.
+        let (runner, _) = start_fake(BatchServerConfig::default(), 4, 2, 2, 0);
+        let err = runner
+            .submit(vec!["a".into(), "b".into(), "c".into()], None)
+            .unwrap_err();
+        assert_eq!(err, SubmitError::PoolExhausted);
+        // The runner survives rejection and still serves fitting work.
+        let out = runner.submit(vec!["a".into()], Some(9)).unwrap();
+        assert_eq!(out.recipe.title, "r0");
+        runner.stop();
+    }
+
+    #[test]
+    fn overflow_queue_rejects_with_queue_full() {
+        let cfg = BatchServerConfig {
+            queue_cap: 1,
+            ..BatchServerConfig::default()
+        };
+        // Capacity-1 backend with slow requests keeps the runner busy;
+        // the queue then holds 1 and the next submit bounces.
+        let (runner, sizes) = start_fake(cfg, 1, 100, 500, 1);
+        let runner = Arc::new(runner);
+        let r1 = Arc::clone(&runner);
+        let bg1 = std::thread::spawn(move || {
+            let _ = r1.submit(vec!["slow0".into()], Some(0));
+        });
+        // Wait until the first request is *admitted* (a step recorded),
+        // so it occupies the backend rather than the queue slot.
+        while sizes.lock().unwrap().is_empty() {
+            std::thread::yield_now();
+        }
+        let r2 = Arc::clone(&runner);
+        let bg2 = std::thread::spawn(move || {
+            let _ = r2.submit(vec!["slow1".into()], Some(1));
+        });
+        // Give the second submission time to occupy the single queue
+        // slot (it cannot be admitted for ~500ms).
+        std::thread::sleep(Duration::from_millis(50));
+        let err = runner.submit(vec!["c".into()], None).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        // The queued requests still complete.
+        bg1.join().unwrap();
+        bg2.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let (runner, _) = start_fake(BatchServerConfig::default(), 4, 100, 10, 1);
+        let runner = Arc::new(runner);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let r = Arc::clone(&runner);
+                std::thread::spawn(move || r.submit(vec![format!("d{i}")], Some(i)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        for h in handles {
+            assert!(h.join().unwrap().is_ok(), "accepted request dropped");
+        }
+    }
+}

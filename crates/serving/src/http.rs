@@ -31,6 +31,8 @@ pub enum StatusCode {
     MethodNotAllowed,
     /// 413
     PayloadTooLarge,
+    /// 429
+    TooManyRequests,
     /// 500
     InternalServerError,
     /// 503
@@ -46,6 +48,7 @@ impl StatusCode {
             StatusCode::NotFound => 404,
             StatusCode::MethodNotAllowed => 405,
             StatusCode::PayloadTooLarge => 413,
+            StatusCode::TooManyRequests => 429,
             StatusCode::InternalServerError => 500,
             StatusCode::ServiceUnavailable => 503,
         }
@@ -59,6 +62,7 @@ impl StatusCode {
             StatusCode::NotFound => "Not Found",
             StatusCode::MethodNotAllowed => "Method Not Allowed",
             StatusCode::PayloadTooLarge => "Payload Too Large",
+            StatusCode::TooManyRequests => "Too Many Requests",
             StatusCode::InternalServerError => "Internal Server Error",
             StatusCode::ServiceUnavailable => "Service Unavailable",
         }

@@ -14,6 +14,11 @@
 //!   each worker thread owns a full model replica and requests flow over
 //!   a bounded crossbeam channel, so throughput scales by adding workers
 //!   (benchmarked in `serving_throughput`);
+//! * [`batch`] — the continuous-batching alternative to the pool: one
+//!   model replica whose [`batch::BatchRunner`] coalesces queued
+//!   requests into a single multi-sequence decode, admitting and
+//!   retiring per token step (driven by the `serving_queue_depth`
+//!   signal with hysteresis);
 //! * [`api`] — the generate/health/models endpoints over a backend trait;
 //! * [`frontend`] — the embedded single-page UI (Fig. 4);
 //! * [`client`] — a tiny blocking HTTP client for tests, examples and the
@@ -22,6 +27,7 @@
 
 
 pub mod api;
+pub mod batch;
 pub mod client;
 pub mod frontend;
 pub mod http;
@@ -30,6 +36,10 @@ pub mod router;
 pub mod worker;
 
 pub use api::{ApiServer, ApiStats, GeneratedRecipe, RecipeBackend};
+pub use batch::{
+    AdmitOutcome, BatchOut, BatchRunner, BatchServerConfig, Scheduler, StepBackend,
+    StepBackendFactory, SubmitError,
+};
 pub use http::{HttpServer, Request, Response, StatusCode};
 pub use json::Json;
 pub use router::Router;

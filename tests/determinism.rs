@@ -159,6 +159,99 @@ fn seeded_checkpoint_bytes_are_identical() {
     assert_eq!(a, b, "checkpoint bytes differ");
 }
 
+/// Golden fingerprint for the batched decode path: three greedy
+/// sequences decoded *together* through the continuous-batching engine
+/// hash to a frozen value — and each matches its solo decode bitwise.
+/// This pins the whole batched chain (seeded init, blocked KV cache,
+/// batched GEMMs, greedy argmax) in one number; any accumulation
+/// reordering, KV layout change or scheduling drift breaks it.
+#[test]
+fn batched_decode_golden_fingerprint_is_frozen() {
+    use ratatouille::models::batch::{BatchEngineConfig, BatchGenerator, BatchRequest};
+    use ratatouille::models::gpt2::{Gpt2Config, Gpt2Lm};
+    use ratatouille::models::lm::InferenceModel;
+    use ratatouille::models::sample::SamplerConfig;
+
+    let model = Gpt2Lm::new(Gpt2Config {
+        name: "golden-batch".into(),
+        vocab: 32,
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 2,
+        d_ff: 32,
+        max_t: 64,
+        dropout: 0.0,
+        seed: 1234,
+    });
+    let bm = model.batch_model().expect("16/32 widths are batch-ready");
+    let cfg = SamplerConfig {
+        max_tokens: 12,
+        greedy: true, // no sampling ties → the stream is pure kernel output
+        stop_token: None,
+        ..SamplerConfig::default()
+    };
+    let prompts: [&[u32]; 3] = [&[3, 17, 9, 28, 1], &[11, 11, 4], &[25, 2, 30, 6]];
+
+    let decode_together = || -> Vec<Vec<u32>> {
+        let mut engine = BatchGenerator::new(
+            bm,
+            BatchEngineConfig {
+                block_tokens: 4,
+                num_blocks: 64,
+                max_batch: 4,
+                prefix_cap: 4,
+            },
+        );
+        let ids: Vec<u64> = prompts
+            .iter()
+            .map(|p| {
+                engine
+                    .admit(BatchRequest {
+                        prompt: p.to_vec(),
+                        sampler: cfg.clone(),
+                        seed: 0,
+                    })
+                    .expect("pool covers three tiny requests")
+            })
+            .collect();
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); ids.len()];
+        let mut done = 0;
+        while done < ids.len() {
+            for f in engine.step(bm).expect("reserved up front").finished {
+                let slot = ids.iter().position(|&id| id == f.id).unwrap();
+                out[slot] = f.tokens;
+                done += 1;
+            }
+        }
+        out
+    };
+
+    let batched = decode_together();
+    // Batch composition must not matter: each stream equals its solo run.
+    for (p, stream) in prompts.iter().zip(&batched) {
+        let mut engine = BatchGenerator::new(bm, BatchEngineConfig::default());
+        let id = engine
+            .admit(BatchRequest {
+                prompt: p.to_vec(),
+                sampler: cfg.clone(),
+                seed: 0,
+            })
+            .unwrap();
+        let alone = engine.run_to_completion(bm, id).unwrap();
+        assert_eq!(&alone, stream, "solo decode diverged from the batch");
+    }
+
+    let fp = fingerprint(
+        batched
+            .iter()
+            .map(|s| s.iter().flat_map(|t| t.to_le_bytes()).collect::<Vec<u8>>()),
+    );
+    assert_eq!(
+        fp, 0xe948_9989_2b3e_208f,
+        "batched decode fingerprint changed: {fp:#x} — if intentional, refreeze"
+    );
+}
+
 /// Golden corpus fingerprint: the seed-42, 60-recipe corpus hashes to a
 /// frozen value. This pins the full chain — PRNG bit stream, grammar
 /// sampling order, defect injection — in one number.

@@ -1,9 +1,13 @@
 //! Serving-stack integration: trained model → worker-pool replicas →
-//! HTTP server → client → JSON → structured recipe.
+//! HTTP server → client → JSON → structured recipe — and the
+//! continuous-batching path: trained model → batch runner → blocked KV
+//! cache → byte-identical responses under concurrency.
 
+use ratatouille::models::batch::BatchEngineConfig;
 use ratatouille::models::registry::ModelKind;
 use ratatouille::models::train::TrainConfig;
 use ratatouille::serving::api::ApiServer;
+use ratatouille::serving::batch::BatchServerConfig;
 use ratatouille::serving::client::HttpClient;
 use ratatouille::serving::json::Json;
 use ratatouille::{Pipeline, PipelineConfig, TrainedModel};
@@ -189,6 +193,168 @@ fn healthz_and_metrics_endpoints() {
     let (status, stacks) = client.get("/debug/stacks").unwrap();
     assert_eq!(status, 200);
     assert!(stacks.contains("decode"), "spans missing from:\n{stacks}");
+
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Continuous batching over HTTP
+// ---------------------------------------------------------------------
+
+/// A small batch-capable model (GPT-2 family; LSTMs have no
+/// batch-invariant decode path).
+fn trained_gpt2() -> TrainedModel {
+    let mut cfg = PipelineConfig::small();
+    cfg.corpus.num_recipes = 60;
+    let pipeline = Pipeline::prepare(cfg);
+    pipeline.train(
+        ModelKind::DistilGpt2,
+        Some(TrainConfig {
+            steps: 2,
+            batch_size: 2,
+            ..Default::default()
+        }),
+    )
+}
+
+/// Value of a single-sample metric line (`name value`); 0 when absent
+/// (metrics register lazily on first touch).
+fn metric_value(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// Cumulative `decode_batch_size` samples with value ≤ 1 (buckets 0 and
+/// 1 are exact; empty buckets are elided from the exposition).
+fn batch_size_le1(metrics: &str) -> f64 {
+    ["decode_batch_size_bucket{le=\"0\"}", "decode_batch_size_bucket{le=\"1\"}"]
+        .iter()
+        .map(|b| metric_value(metrics, b))
+        .fold(0.0, f64::max) // buckets are cumulative: le="1" ⊇ le="0"
+}
+
+/// The recipe fields of a generate response (latency excluded — it is
+/// the one legitimately nondeterministic field).
+fn recipe_fields(body: &str) -> (String, Vec<String>, Vec<String>, bool) {
+    let v = Json::parse(body).unwrap();
+    (
+        v.get("title").unwrap().as_str().unwrap().to_string(),
+        v.get("ingredients").unwrap().as_string_vec(),
+        v.get("instructions").unwrap().as_string_vec(),
+        v.get("well_formed").unwrap().as_bool().unwrap(),
+    )
+}
+
+/// The tentpole end to end: N concurrent seeded requests with shared
+/// pantry prefixes coalesce into multi-sequence decode steps
+/// (`decode_batch_size` p50 > 1), every response is byte-identical to
+/// its solo replay, and the prefix cache serves real hits
+/// (`decode_kv_hits_total` > 0).
+#[test]
+fn batched_server_coalesces_and_matches_solo_goldens() {
+    let trained = trained_gpt2();
+    let factory = trained
+        .batched_factory(BatchEngineConfig {
+            block_tokens: 4, // short pantry prompts still span full blocks
+            num_blocks: 768,
+            max_batch: 8,
+            prefix_cap: 16,
+        })
+        .expect("gpt2 is batch-capable");
+    let server = ApiServer::start_batched(
+        "127.0.0.1:0",
+        BatchServerConfig {
+            coalesce_wait_ms: 5,
+            ..BatchServerConfig::default()
+        },
+        factory,
+    )
+    .unwrap();
+    let addr = server.addr();
+    let client = HttpClient::new(addr);
+
+    let (_, before) = client.get("/metrics").unwrap();
+
+    // Phase 1: six concurrent seeded requests, two shared pantries.
+    let pantries = [r#"["flour","water","salt"]"#, r#"["rice","egg"]"#];
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let body = format!(
+                r#"{{"ingredients":{},"seed":{}}}"#,
+                pantries[i % 2],
+                1000 + i
+            );
+            std::thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                let (status, resp) = client.post_json("/api/generate", &body).unwrap();
+                assert_eq!(status, 200, "{resp}");
+                (body, resp)
+            })
+        })
+        .collect();
+    let concurrent: Vec<(String, String)> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Phase 2: the requests genuinely shared decode steps.
+    let (_, mid) = client.get("/metrics").unwrap();
+    let steps = metric_value(&mid, "decode_batch_size_count")
+        - metric_value(&before, "decode_batch_size_count");
+    let solo_steps = batch_size_le1(&mid) - batch_size_le1(&before);
+    assert!(steps > 0.0, "no batched decode steps recorded:\n{mid}");
+    assert!(
+        solo_steps * 2.0 < steps,
+        "decode_batch_size p50 ≤ 1: {solo_steps} of {steps} steps ran solo"
+    );
+
+    // Phase 3: solo replays (one at a time) are byte-identical.
+    for (body, resp) in &concurrent {
+        let (status, replay) = client.post_json("/api/generate", body).unwrap();
+        assert_eq!(status, 200, "{replay}");
+        assert_eq!(
+            recipe_fields(resp),
+            recipe_fields(&replay),
+            "batched response diverged from solo replay for {body}"
+        );
+    }
+
+    // Phase 4: shared pantry prefixes hit the KV cache (the replays
+    // decode against the prefixes phase 1 registered).
+    let (_, after) = client.get("/metrics").unwrap();
+    let hits = metric_value(&after, "decode_kv_hits_total")
+        - metric_value(&before, "decode_kv_hits_total");
+    assert!(hits > 0.0, "no shared-prefix KV hits:\n{after}");
+
+    server.stop();
+}
+
+/// A pool too small for even one worst-case request is a definitive
+/// capacity error: HTTP 429, not a hang and not a 500.
+#[test]
+fn batched_server_returns_429_when_the_kv_pool_cannot_fit_a_request() {
+    let trained = trained_gpt2();
+    let factory = trained
+        .batched_factory(BatchEngineConfig {
+            block_tokens: 4,
+            num_blocks: 4, // 16 tokens of KV — far below prompt + budget
+            max_batch: 2,
+            prefix_cap: 4,
+        })
+        .expect("gpt2 is batch-capable");
+    let server =
+        ApiServer::start_batched("127.0.0.1:0", BatchServerConfig::default(), factory).unwrap();
+    let client = HttpClient::new(server.addr());
+
+    let (status, body) = client
+        .post_json("/api/generate", r#"{"ingredients":["flour","water"],"seed":1}"#)
+        .unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("error"), "{body}");
+
+    // The server stays healthy after rejecting.
+    let (status, _) = client.get("/healthz").unwrap();
+    assert_eq!(status, 200);
 
     server.stop();
 }
