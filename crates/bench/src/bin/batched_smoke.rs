@@ -9,7 +9,11 @@
 //!    tokens/sec of solo full-prefill decode — the throughput claim of
 //!    the batching tentpole (solo pays the whole pantry prompt per
 //!    request; the batch admits against cached prefix blocks and only
-//!    prefills the tail).
+//!    prefills the tail); and
+//! 4. the parallel paged-attention sweep holds the determinism contract
+//!    in the attention-bound regime: a long-context batch of 8 produces
+//!    byte-identical streams at 1 and 2 worker threads, both matching
+//!    the serial row-at-a-time reference loop.
 //!
 //! Also useful standalone:
 //!
@@ -24,7 +28,9 @@ use ratatouille::models::batch::{
 };
 use ratatouille::models::gpt2::{Gpt2Config, Gpt2Lm};
 use ratatouille::models::sample::SamplerConfig;
+use ratatouille::models::transformer::{set_attention_mode, AttentionMode};
 use ratatouille::models::InferenceModel;
+use ratatouille::tensor::par;
 
 const VOCAB: usize = 384;
 /// Generated tokens per sequence.
@@ -80,7 +86,7 @@ fn decode_together(bm: &dyn BatchStepModel, prefix_cap: usize, reqs: &[BatchRequ
 fn main() {
     let model = Gpt2Lm::new(Gpt2Config::distil(VOCAB));
     let bm = model.batch_model().expect("distil tier is batch-ready");
-    eprintln!("[batched_smoke] model: {}", model.name());
+    eprintln!("[batched_smoke] model: {}", InferenceModel::name(&model));
 
     let prompts: Vec<Vec<u32>> = (0..8u32)
         .map(|i| {
@@ -173,6 +179,68 @@ fn main() {
         batch_tps >= 2.0 * solo_tps,
         "shared-prefix batch-of-8 must deliver >= 2x solo aggregate tokens/sec \
          (got {batch_tps:.0} vs {solo_tps:.0})"
+    );
+
+    // 4. Long-context attention-bound determinism: batch of 8 on a
+    //    160-token prompt (attention dominates each decode step), the
+    //    pool-parallel sweep at 2 threads vs 1 thread vs the serial
+    //    reference — all three must agree byte for byte.
+    const LONG_PROMPT: usize = 160;
+    let long_reqs: Vec<BatchRequest> = (0..8u32)
+        .map(|i| {
+            let prompt: Vec<u32> = (0..LONG_PROMPT as u32)
+                .map(|t| (3 + i * 13 + t) % VOCAB as u32)
+                .collect();
+            req(&prompt, i as u64)
+        })
+        .collect();
+    let run_long = |mode: AttentionMode, threads: usize| -> Vec<Vec<u32>> {
+        set_attention_mode(mode);
+        par::set_num_threads(threads);
+        // Bigger blocks than the short-prompt cases: 8 sequences of
+        // 160 + 24 tokens need ~96 sixteen-token blocks.
+        let mut engine = BatchGenerator::new(
+            bm,
+            BatchEngineConfig {
+                block_tokens: 16,
+                num_blocks: 128,
+                max_batch: 8,
+                prefix_cap: 0,
+            },
+        );
+        let ids: Vec<u64> = long_reqs
+            .iter()
+            .map(|r| engine.admit(r.clone()).expect("pool sized for the batch"))
+            .collect();
+        let mut out = vec![Vec::new(); ids.len()];
+        let mut done = 0;
+        while done < ids.len() {
+            for f in engine.step(bm).expect("reserved at admission").finished {
+                let slot = ids.iter().position(|&id| id == f.id).expect("known id");
+                out[slot] = f.tokens;
+                done += 1;
+            }
+        }
+        par::set_num_threads(0);
+        set_attention_mode(AttentionMode::Sweep);
+        out
+    };
+    let serial_ref = run_long(AttentionMode::Serial, 1);
+    let sweep1 = run_long(AttentionMode::Sweep, 1);
+    let sweep2 = run_long(AttentionMode::Sweep, 2);
+    assert_eq!(
+        sweep1, serial_ref,
+        "1-thread sweep diverged from the serial reference at long context"
+    );
+    assert_eq!(
+        sweep2, serial_ref,
+        "2-thread sweep diverged from the single-thread stream at long context"
+    );
+    let attend_total = obs::static_histogram!("attend_ns").sum();
+    assert!(attend_total > 0, "attend_ns histogram never populated");
+    eprintln!(
+        "[batched_smoke] long-context batch-8 streams identical across serial/sweep x threads 1,2 \
+         (attend_ns total {attend_total})"
     );
 
     println!("batched_smoke: all checks passed");

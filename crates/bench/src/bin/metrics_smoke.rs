@@ -9,8 +9,12 @@
 //! cargo run --release -p ratatouille-bench --bin metrics_smoke
 //! ```
 
+use ratatouille::models::batch::{BatchEngineConfig, BatchGenerator, BatchRequest};
+use ratatouille::models::gpt2::{Gpt2Config, Gpt2Lm};
 use ratatouille::models::registry::ModelKind;
+use ratatouille::models::sample::SamplerConfig;
 use ratatouille::models::train::TrainConfig;
+use ratatouille::models::InferenceModel;
 use ratatouille::serving::api::ApiServer;
 use ratatouille::serving::client::HttpClient;
 use ratatouille::{Pipeline, PipelineConfig};
@@ -26,6 +30,19 @@ const REQUIRED: &[&str] = &[
     "tensor_matmul_gflops",
     "train_tokens_per_sec",
     "generate_latency_ns",
+    "attend_ns",
+    "decode_batch_size",
+    "decode_kv_hits_total",
+];
+
+/// Labeled series the per-model batch metrics must expose (inline-label
+/// twins of the aggregates; the model name comes from the closed
+/// registry, so cardinality stays bounded). Histograms render their
+/// label set on the `_count`/`_sum`/`_bucket` lines, so probe `_count`.
+const REQUIRED_LABELED: &[&str] = &[
+    "decode_batch_size_count{model=\"distilgpt2\"}",
+    "decode_kv_hits_total{model=\"distilgpt2\"}",
+    "decode_kv_misses_total{model=\"distilgpt2\"}",
 ];
 
 fn main() {
@@ -37,6 +54,40 @@ fn main() {
     let c = ops::matmul(&a, &a);
     assert_eq!(c.dims(), &[n, n]);
     par::set_num_threads(0);
+
+    // 1b. One tiny batched decode so the paged-attention histogram and
+    //     the per-model labeled batch metrics have samples.
+    eprintln!("[metrics_smoke] batched decode for attend_ns + labeled batch metrics…");
+    let gpt2 = Gpt2Lm::new(Gpt2Config::distil(64));
+    let bm = gpt2.batch_model().expect("distil tier is batch-ready");
+    let mut engine = BatchGenerator::new(
+        bm,
+        BatchEngineConfig {
+            block_tokens: 4,
+            num_blocks: 64,
+            max_batch: 2,
+            prefix_cap: 2,
+        },
+    );
+    for seed in 0..2u64 {
+        let id = engine
+            .admit(BatchRequest {
+                prompt: vec![2, 3, 4, 5, 6],
+                sampler: SamplerConfig {
+                    max_tokens: 4,
+                    greedy: true,
+                    stop_token: None,
+                    ..SamplerConfig::default()
+                },
+                seed,
+            })
+            .expect("admit");
+        engine.run_to_completion(bm, id).expect("decode");
+    }
+    assert!(
+        obs::static_histogram!("attend_ns").count() > 0,
+        "batched decode did not populate attend_ns"
+    );
 
     // 2. Train a tiny model (populates train_* metrics) and serve it.
     eprintln!("[metrics_smoke] training a tiny serving model…");
@@ -78,6 +129,17 @@ fn main() {
     if !missing.is_empty() {
         eprintln!("---- /metrics exposition ----\n{metrics}\n----");
         eprintln!("[metrics_smoke] FAIL — missing metric families: {missing:?}");
+        std::process::exit(1);
+    }
+
+    let missing_labeled: Vec<&str> = REQUIRED_LABELED
+        .iter()
+        .copied()
+        .filter(|series| !metrics.contains(series))
+        .collect();
+    if !missing_labeled.is_empty() {
+        eprintln!("---- /metrics exposition ----\n{metrics}\n----");
+        eprintln!("[metrics_smoke] FAIL — missing labeled series: {missing_labeled:?}");
         std::process::exit(1);
     }
 

@@ -32,9 +32,11 @@
 use ratatouille_util::rng::{SeedableRng, StdRng};
 use ratatouille_tensor::Tensor;
 
+use std::sync::Arc;
+
 use crate::kv_block::{BlockConfig, BlockPool, PoolExhausted, PrefixCache, SeqKv};
-use crate::sample::{select_token, SamplerConfig};
-use crate::transformer::DecodeScratch;
+use crate::sample::{metric_label, select_token, SamplerConfig};
+use crate::transformer::BatchScratch;
 
 /// The shape facts the engine needs from a model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +56,11 @@ pub trait BatchStepModel {
     /// Layer count and width, for sizing the pool.
     fn dims(&self) -> ModelDims;
 
+    /// Display name, labeling the engine's metrics (`{model="…"}`).
+    /// Cardinality stays bounded because implementations come from the
+    /// closed model registry.
+    fn name(&self) -> &str;
+
     /// Whether this instance satisfies the batch-invariance preconditions
     /// (every GEMM `N` divisible by the pack width). When false the
     /// batched path must not be used — `batch_model()` returns `None`.
@@ -69,7 +76,7 @@ pub trait BatchStepModel {
         tokens: &[u32],
         pool: &mut BlockPool,
         seqs: &mut [&mut SeqKv],
-        scratch: &mut DecodeScratch,
+        scratch: &mut BatchScratch,
     ) -> Vec<Tensor>;
 }
 
@@ -171,9 +178,18 @@ pub struct BatchGenerator {
     pool: BlockPool,
     prefix: PrefixCache,
     active: Vec<GenState>,
-    scratch: DecodeScratch,
+    scratch: BatchScratch,
+    /// This step's per-lane input tokens, reused across steps so the
+    /// steady-state decode loop allocates nothing per token.
+    feed: Vec<u32>,
     max_batch: usize,
     next_id: u64,
+    /// Per-model labeled twins of the aggregate engine metrics, resolved
+    /// once at construction (a per-step `format!` would defeat the
+    /// registry's handle caching).
+    batch_size_hist: Arc<obs::metrics::Histogram>,
+    kv_hits: Arc<obs::metrics::Counter>,
+    kv_misses: Arc<obs::metrics::Counter>,
 }
 
 impl BatchGenerator {
@@ -192,13 +208,18 @@ impl BatchGenerator {
             block_tokens: cfg.block_tokens,
             num_blocks: cfg.num_blocks,
         });
+        let labels = format!("{{model=\"{}\"}}", metric_label(model.name()));
         BatchGenerator {
             pool,
             prefix: PrefixCache::new(cfg.prefix_cap),
             active: Vec::new(),
-            scratch: DecodeScratch::new(),
+            scratch: BatchScratch::new(),
+            feed: Vec::new(),
             max_batch: cfg.max_batch.max(1),
             next_id: 0,
+            batch_size_hist: obs::metrics::histogram(&format!("decode_batch_size{labels}")),
+            kv_hits: obs::metrics::counter(&format!("decode_kv_hits_total{labels}")),
+            kv_misses: obs::metrics::counter(&format!("decode_kv_misses_total{labels}")),
         }
     }
 
@@ -237,6 +258,10 @@ impl BatchGenerator {
             .lookup(&mut self.pool, &req.prompt, req.prompt.len() - 1);
         let mut seq = SeqKv::new();
         let shared = hit.tokens;
+        // Labeled twins of the aggregate hit/miss counters the lookup
+        // itself bumps.
+        self.kv_hits.add(shared as u64);
+        self.kv_misses.add((req.prompt.len() - shared) as u64);
         if shared > 0 {
             seq.adopt_shared(&self.pool, hit.blocks);
         }
@@ -274,24 +299,22 @@ impl BatchGenerator {
         }
         let batch_size = self.active.len();
         obs::static_histogram!("decode_batch_size").observe(batch_size as u64);
+        self.batch_size_hist.observe(batch_size as u64);
 
-        let tokens: Vec<u32> = self
-            .active
-            .iter()
-            .map(|g| {
-                if g.fed < g.prompt.len() {
-                    g.prompt[g.fed]
-                } else {
-                    g.last
-                }
-            })
-            .collect();
+        self.feed.clear();
+        self.feed.extend(self.active.iter().map(|g| {
+            if g.fed < g.prompt.len() {
+                g.prompt[g.fed]
+            } else {
+                g.last
+            }
+        }));
         {
             let mut seqs: Vec<&mut SeqKv> = self.active.iter_mut().map(|g| &mut g.seq).collect();
             for seq in seqs.iter_mut() {
                 seq.prepare_write(&mut self.pool)?;
             }
-            let logits = model.batch_step(&tokens, &mut self.pool, &mut seqs, &mut self.scratch);
+            let logits = model.batch_step(&self.feed, &mut self.pool, &mut seqs, &mut self.scratch);
             debug_assert_eq!(logits.len(), batch_size);
             drop(seqs);
 

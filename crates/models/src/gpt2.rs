@@ -17,7 +17,7 @@ use ratatouille_tensor::{init, ops, DType, Tensor, Var, F16};
 use crate::batch::{BatchStepModel, ModelDims};
 use crate::kv_block::{BlockPool, SeqKv};
 use crate::lm::{Batch, InferenceModel, LanguageModel, TokenStream};
-use crate::transformer::{Block, DecodeScratch, KvCache, QuantBlock};
+use crate::transformer::{BatchScratch, Block, DecodeScratch, KvCache, QuantBlock};
 
 /// GPT-2 hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -202,6 +202,10 @@ impl BatchStepModel for Gpt2Lm {
         }
     }
 
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
     /// Batch invariance needs every batched-GEMM output width divisible
     /// by the pack width `NR = 16`: the packed (`M ≥ 8`) and unpacked
     /// microkernels then run identical per-element accumulation chains,
@@ -218,7 +222,7 @@ impl BatchStepModel for Gpt2Lm {
         tokens: &[u32],
         pool: &mut BlockPool,
         seqs: &mut [&mut SeqKv],
-        scratch: &mut DecodeScratch,
+        scratch: &mut BatchScratch,
     ) -> Vec<Tensor> {
         let b = tokens.len();
         debug_assert_eq!(b, seqs.len());
@@ -226,9 +230,12 @@ impl BatchStepModel for Gpt2Lm {
         let wte = self.wte.value();
         let wpe = self.wpe.value();
 
-        // Stacked token + position embeddings, [B, D]. Positions clamp to
-        // the last learned slot exactly like the solo stream.
-        let mut x = Vec::with_capacity(b * d);
+        // Stacked token + position embeddings, [B, D], staged in the
+        // scratch arena's reusable buffer. Positions clamp to the last
+        // learned slot exactly like the solo stream.
+        let mut x = std::mem::take(&mut scratch.x);
+        x.clear();
+        x.reserve(b * d);
         for (i, &tok) in tokens.iter().enumerate() {
             assert!((tok as usize) < self.config.vocab, "token {tok} out of vocab");
             let pos = seqs[i].len().min(self.config.max_t - 1);
@@ -237,10 +244,14 @@ impl BatchStepModel for Gpt2Lm {
             x.extend(te.iter().zip(pe).map(|(&t, &p)| t + p));
         }
         let mut x = Tensor::from_vec(x, &[b, d]).expect("embeddings are [B, D]");
+        // The embedding tensor is dropped after the first layer; recover
+        // its buffer for the next step (sole owner -> no copy).
+        let x0 = x.clone();
 
         for (layer, blk) in self.blocks.iter().enumerate() {
             x = blk.forward_incremental_batch(&x, self.config.n_heads, layer, pool, seqs, scratch);
         }
+        scratch.x = x0.into_vec();
         let (ln, _, _) = ops::layer_norm(&x, &self.lnf_g.value(), &self.lnf_b.value(), 1e-5);
         let logits = ops::matmul_transb(&ln, &wte); // [B, V]
         let ld = logits.data();

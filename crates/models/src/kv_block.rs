@@ -169,6 +169,23 @@ impl BlockPool {
         &self.data[o..o + self.cfg.d]
     }
 
+    /// `n` consecutive K rows starting at `slot` of one (block, layer) —
+    /// slots within a block lane are contiguous, so a whole run is one
+    /// slice and the attention sweep can walk it without per-position
+    /// offset arithmetic.
+    pub fn k_rows(&self, block: u32, layer: usize, slot: usize, n: usize) -> &[f32] {
+        debug_assert!(slot + n <= self.cfg.block_tokens);
+        let o = self.row_offset(block, layer, 0, slot);
+        &self.data[o..o + n * self.cfg.d]
+    }
+
+    /// `n` consecutive V rows starting at `slot` of one (block, layer).
+    pub fn v_rows(&self, block: u32, layer: usize, slot: usize, n: usize) -> &[f32] {
+        debug_assert!(slot + n <= self.cfg.block_tokens);
+        let o = self.row_offset(block, layer, 1, slot);
+        &self.data[o..o + n * self.cfg.d]
+    }
+
     /// Write the K and V rows of one (layer, slot).
     pub fn write_kv(&mut self, block: u32, layer: usize, slot: usize, k: &[f32], v: &[f32]) {
         assert_eq!(k.len(), self.cfg.d);
@@ -343,12 +360,24 @@ impl SeqKv {
 /// Read access to one (sequence, layer) slice of the pool, in logical
 /// position order — the paged equivalent of a contiguous
 /// [`crate::transformer::KvCache`] for the attention kernel.
+///
+/// Holds only shared references to the pool and the block table, so it
+/// is `Send + Sync` by construction: the parallel attention sweep hands
+/// one view per sequence to the worker pool while the caller's `&mut
+/// BlockPool` is reborrowed shared for the duration of the sweep.
 pub struct SeqLayerKv<'a> {
     pool: &'a BlockPool,
     table: &'a [u32],
     layer: usize,
     len: usize,
 }
+
+/// Compile-time proof that views can cross worker threads (the batched
+/// attention sweep depends on it).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SeqLayerKv<'_>>();
+};
 
 impl crate::transformer::KvRows for SeqLayerKv<'_> {
     type Elem = f32;
@@ -365,6 +394,18 @@ impl crate::transformer::KvRows for SeqLayerKv<'_> {
     fn v_row(&self, pos: usize) -> &[f32] {
         let bt = self.pool.config().block_tokens;
         self.pool.v_row(self.table[pos / bt], self.layer, pos % bt)
+    }
+
+    fn k_run(&self, pos: usize, end: usize) -> &[f32] {
+        let bt = self.pool.config().block_tokens;
+        let n = (bt - pos % bt).min(end - pos);
+        self.pool.k_rows(self.table[pos / bt], self.layer, pos % bt, n)
+    }
+
+    fn v_run(&self, pos: usize, end: usize) -> &[f32] {
+        let bt = self.pool.config().block_tokens;
+        let n = (bt - pos % bt).min(end - pos);
+        self.pool.v_rows(self.table[pos / bt], self.layer, pos % bt, n)
     }
 }
 

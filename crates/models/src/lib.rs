@@ -44,3 +44,4 @@ pub use lstm::{LstmConfig, LstmLm};
 pub use registry::{ModelKind, ModelSpec, TABLE1_MODELS};
 pub use sample::{generate, SamplerConfig};
 pub use train::{Checkpoint, TrainConfig, Trainer};
+pub use transformer::{attention_mode, set_attention_mode, AttentionMode, BatchScratch};

@@ -212,7 +212,7 @@ impl Block {
         layer: usize,
         pool: &mut BlockPool,
         seqs: &mut [&mut SeqKv],
-        scratch: &mut DecodeScratch,
+        scratch: &mut BatchScratch,
     ) -> Tensor {
         let (b, d) = (x.dims()[0], x.dims()[1]);
         debug_assert_eq!(b, seqs.len());
@@ -226,17 +226,37 @@ impl Block {
             seq.write(pool, layer, &row[d..2 * d], &row[2 * d..3 * d]);
         }
 
+        // All K/V writes for this step are in; reborrow the pool shared
+        // so every sequence's read-only layer view (including the
+        // just-written row at position len) can cross worker threads.
+        let pool: &BlockPool = pool;
         let scale = 1.0 / (dh as f32).sqrt();
-        let mut ctx = vec![0.0f32; b * d];
-        for (i, seq) in seqs.iter().enumerate() {
-            // The just-written row participates: reader length len + 1.
-            let view = seq.layer_view(pool, layer, seq.len() + 1);
-            let q = &qkv_d[i * 3 * d..i * 3 * d + d];
-            attend(q, heads, dh, 0, &view, scratch, scale);
-            ctx[i * d..(i + 1) * d].copy_from_slice(&scratch.ctx);
+        let mut ctx = std::mem::take(&mut scratch.ctx);
+        ctx.clear();
+        ctx.resize(b * d, 0.0);
+        {
+            let seats = scratch.seats(b);
+            let mut slots: Vec<AttnSlot<'_>> = Vec::with_capacity(b);
+            let mut ctx_tail: &mut [f32] = &mut ctx;
+            for ((i, seq), seat) in seqs.iter().enumerate().zip(seats.iter_mut()) {
+                let (out, rest) = ctx_tail.split_at_mut(d);
+                ctx_tail = rest;
+                slots.push(AttnSlot {
+                    q: &qkv_d[i * 3 * d..i * 3 * d + d],
+                    // The just-written row participates: reader length
+                    // len + 1.
+                    view: seq.layer_view(pool, layer, seq.len() + 1),
+                    scratch: seat,
+                    out,
+                });
+            }
+            attend_batch(&mut slots, heads, dh, scale);
         }
         let ctx = Tensor::from_vec(ctx, &[b, d]).expect("ctx is [B, D]");
         let attn = ops::add_broadcast(&ops::matmul(&ctx, &self.w_o.value()), &self.b_o.value());
+        // Round the ctx buffer back into the arena for the next layer
+        // (sole owner here, so this is a move, not a copy).
+        scratch.ctx = ctx.into_vec();
         let x1 = ops::add(x, &attn);
 
         let (ln2, _, _) = ops::layer_norm(&x1, &self.ln2_g.value(), &self.ln2_b.value(), 1e-5);
@@ -273,6 +293,25 @@ pub trait KvRows {
 
     /// The cached V row of `pos`.
     fn v_row(&self, pos: usize) -> &[Self::Elem];
+
+    /// The longest storage-contiguous run of K rows starting at `pos`
+    /// and not reaching past `end`, as one flat `[n * d]` slice.
+    ///
+    /// [`attend`] walks the cache run-by-run so the inner loop is a
+    /// plain `chunks_exact` over contiguous memory instead of a
+    /// `k_row` call (with its block-table div/mod) per position. The
+    /// default is the degenerate single-row run, which is always
+    /// correct; contiguous stores override it with bigger runs.
+    fn k_run(&self, pos: usize, end: usize) -> &[Self::Elem] {
+        debug_assert!(pos < end && end <= self.len());
+        self.k_row(pos)
+    }
+
+    /// The V-side counterpart of [`KvRows::k_run`].
+    fn v_run(&self, pos: usize, end: usize) -> &[Self::Elem] {
+        debug_assert!(pos < end && end <= self.len());
+        self.v_row(pos)
+    }
 }
 
 impl<E: Element> KvRows for KvCache<E> {
@@ -289,6 +328,16 @@ impl<E: Element> KvRows for KvCache<E> {
     fn v_row(&self, pos: usize) -> &[E] {
         KvCache::v_row(self, pos)
     }
+
+    // The flat [T, D] buffers are fully contiguous: the whole remaining
+    // window is one run.
+    fn k_run(&self, pos: usize, end: usize) -> &[E] {
+        &self.k[pos * self.d..end * self.d]
+    }
+
+    fn v_run(&self, pos: usize, end: usize) -> &[E] {
+        &self.v[pos * self.d..end * self.d]
+    }
 }
 
 /// The fused incremental-attention kernel, generic over the KV-cache
@@ -299,6 +348,16 @@ impl<E: Element> KvRows for KvCache<E> {
 /// accumulates the context vector into `scratch.ctx`. `start` is 0 for
 /// full causal attention; local-attention layers (GPT-Neo) pass
 /// `len - window` so each position only attends to the trailing window.
+///
+/// Both passes walk the cache in storage-contiguous runs
+/// ([`KvRows::k_run`]), so for block-pooled caches the per-position
+/// block-table indirection (a hardware div/mod per row, comparable in
+/// cost to the head dot itself at small `dh`) is paid once per block
+/// instead of once per position. The position visit order and the
+/// per-position/per-head accumulation chain are exactly those of the
+/// row-at-a-time loop ([`attend_by_row`]), so the results are
+/// bit-identical — run iteration changes address arithmetic, never
+/// reduction order (DESIGN §10).
 ///
 /// Each dtype's inner loops come from [`Element::dot_with_f32`] /
 /// [`Element::axpy_into_f32`]; for `E = f32` these are exactly the
@@ -316,9 +375,67 @@ pub(crate) fn attend<C: KvRows>(
     let t = cache.len();
     debug_assert!(start < t, "attention window must cover the current token");
     let tw = t - start;
-    scratch.resize(heads, tw, heads * dh);
+    let d = heads * dh;
+    scratch.resize(heads, tw, d);
     // Fused score pass: one sweep over the K cache; each cached row is
     // read once, all heads scored against it.
+    let mut pos = start;
+    while pos < t {
+        let run = cache.k_run(pos, t);
+        debug_assert!(!run.is_empty() && run.len() % d == 0);
+        for (j, k_row) in run.chunks_exact(d).enumerate() {
+            let rel = pos - start + j;
+            for h in 0..heads {
+                scratch.scores[h * tw + rel] =
+                    C::Elem::dot_with_f32(&q[h * dh..(h + 1) * dh], &k_row[h * dh..(h + 1) * dh])
+                        * scale;
+            }
+        }
+        pos += run.len() / d;
+    }
+    for h in 0..heads {
+        ops::softmax_row(
+            &scratch.scores[h * tw..(h + 1) * tw],
+            &mut scratch.probs[h * tw..(h + 1) * tw],
+        );
+    }
+    // Fused context pass: one sweep over the V cache.
+    scratch.ctx.fill(0.0);
+    let mut pos = start;
+    while pos < t {
+        let run = cache.v_run(pos, t);
+        for (j, v_row) in run.chunks_exact(d).enumerate() {
+            let rel = pos - start + j;
+            for h in 0..heads {
+                C::Elem::axpy_into_f32(
+                    scratch.probs[h * tw + rel],
+                    &v_row[h * dh..(h + 1) * dh],
+                    &mut scratch.ctx[h * dh..(h + 1) * dh],
+                );
+            }
+        }
+        pos += run.len() / d;
+    }
+}
+
+/// The pre-sweep row-at-a-time attention loop, kept verbatim as the
+/// reference implementation: [`AttentionMode::Serial`] runs it so the
+/// paged-attention benches compare against the real PR 7 baseline, and
+/// the unit tests pin `attend` bit-identical to it over block-pooled
+/// caches.
+pub(crate) fn attend_by_row<C: KvRows>(
+    q: &[f32],
+    heads: usize,
+    dh: usize,
+    start: usize,
+    cache: &C,
+    scratch: &mut DecodeScratch,
+    scale: f32,
+) {
+    let t = cache.len();
+    debug_assert!(start < t, "attention window must cover the current token");
+    let tw = t - start;
+    scratch.resize(heads, tw, heads * dh);
     for pos in start..t {
         let k_row = cache.k_row(pos);
         for h in 0..heads {
@@ -333,7 +450,6 @@ pub(crate) fn attend<C: KvRows>(
             &mut scratch.probs[h * tw..(h + 1) * tw],
         );
     }
-    // Fused context pass: one sweep over the V cache.
     scratch.ctx.fill(0.0);
     for pos in start..t {
         let v_row = cache.v_row(pos);
@@ -345,6 +461,88 @@ pub(crate) fn attend<C: KvRows>(
             );
         }
     }
+}
+
+/// How [`Block::forward_incremental_batch`] executes the per-sequence
+/// attention phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttentionMode {
+    /// The paged-attention sweep: all `B` sequences' [`attend`] calls
+    /// dispatched as independent tasks on the persistent worker pool
+    /// (`tensor::par::scatter_mut`), run-based inner loops. The default.
+    Sweep,
+    /// The PR 7 baseline: `B` serial [`attend_by_row`] calls on the
+    /// caller thread. Kept for A/B benchmarking and as the determinism
+    /// reference — both modes produce bit-identical streams.
+    Serial,
+}
+
+/// Process-wide attention-mode knob, mirroring `par::set_num_threads`: a
+/// programmatic setter (never an environment read — xlint's
+/// forbidden-nondeterminism rule) that benches and smoke tests flip to
+/// A/B the sweep against the serial baseline. 0 = Sweep, 1 = Serial.
+static ATTENTION_MODE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Select the attention execution mode for subsequent batched steps.
+///
+/// Mode only changes *scheduling*, never numerics: the determinism
+/// contract (DESIGN §10) guarantees identical token streams under either
+/// mode, which `batched_smoke` asserts in CI.
+pub fn set_attention_mode(mode: AttentionMode) {
+    let v = match mode {
+        AttentionMode::Sweep => 0,
+        AttentionMode::Serial => 1,
+    };
+    ATTENTION_MODE.store(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The currently selected [`AttentionMode`].
+pub fn attention_mode() -> AttentionMode {
+    match ATTENTION_MODE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => AttentionMode::Serial,
+        _ => AttentionMode::Sweep,
+    }
+}
+
+/// One sequence's slice of the batched attention phase: its query row,
+/// its (shared, read-only) layer view of the block pool, its private
+/// scratch seat, and the `[D]` slice of the batch context buffer its
+/// result lands in. Slots borrow disjoint data, so a `&mut [AttnSlot]`
+/// can be scattered across worker threads.
+pub(crate) struct AttnSlot<'a> {
+    pub(crate) q: &'a [f32],
+    pub(crate) view: crate::kv_block::SeqLayerKv<'a>,
+    pub(crate) scratch: &'a mut DecodeScratch,
+    pub(crate) out: &'a mut [f32],
+}
+
+/// Execute the attention phase for a batch of prepared slots.
+///
+/// [`AttentionMode::Sweep`] fans the slots across the persistent worker
+/// pool — task `i` is always sequence `i`, the chunk→worker mapping is
+/// deterministic, and each task runs its sequence's positions strictly
+/// in order, so parallelism lives *across* sequences only and every
+/// sequence's reduction order is fixed regardless of batch composition
+/// or thread count (DESIGN §10). Wall time lands in the `attend_ns`
+/// histogram either way, so `/metrics` shows attention's share of a
+/// decode step.
+pub(crate) fn attend_batch(slots: &mut [AttnSlot<'_>], heads: usize, dh: usize, scale: f32) {
+    let start = obs::Clock::now();
+    match attention_mode() {
+        AttentionMode::Sweep => {
+            ratatouille_tensor::par::scatter_mut(slots, |_, slot| {
+                attend(slot.q, heads, dh, 0, &slot.view, slot.scratch, scale);
+                slot.out.copy_from_slice(&slot.scratch.ctx);
+            });
+        }
+        AttentionMode::Serial => {
+            for slot in slots.iter_mut() {
+                attend_by_row(slot.q, heads, dh, 0, &slot.view, slot.scratch, scale);
+                slot.out.copy_from_slice(&slot.scratch.ctx);
+            }
+        }
+    }
+    obs::static_histogram!("attend_ns").observe(start.elapsed_ns());
 }
 
 /// An int8 weight-quantized transformer block for inference.
@@ -464,6 +662,39 @@ impl DecodeScratch {
         self.probs.resize(heads * t, 0.0);
         self.ctx.resize(d, 0.0);
         self.attn.reserve(d);
+    }
+}
+
+/// The batched-decode scratch arena: one [`DecodeScratch`] *seat* per
+/// batch lane (each attention task owns its seat exclusively — scratch
+/// ownership is what lets the sweep run lanes concurrently without any
+/// sharing), plus the `[B, D]` context and embedding staging buffers the
+/// engine round-trips through [`crate::Tensor`]s so a steady-state decode
+/// step performs no per-step allocations for them.
+///
+/// Buffers grow to the high-water batch size and are then reused; seats
+/// keep their identity across steps, so lane `i`'s scratch capacity
+/// survives sequence turnover.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    seats: Vec<DecodeScratch>,
+    pub(crate) ctx: Vec<f32>,
+    pub(crate) x: Vec<f32>,
+}
+
+impl BatchScratch {
+    /// A fresh arena; everything grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The first `b` scratch seats, growing the arena if the batch is
+    /// the largest seen so far.
+    pub(crate) fn seats(&mut self, b: usize) -> &mut [DecodeScratch] {
+        if self.seats.len() < b {
+            self.seats.resize_with(b, DecodeScratch::new);
+        }
+        &mut self.seats[..b]
     }
 }
 

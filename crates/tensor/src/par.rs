@@ -251,6 +251,65 @@ where
     });
 }
 
+/// Run `f(i, &mut slots[i])` exactly once for every slot, scattered over
+/// the persistent pool — the general task-scatter entry point for
+/// non-GEMM work (e.g. the per-sequence paged-attention sweep, where each
+/// slot carries its own scratch buffers and output range).
+///
+/// Slots are grouped into at most [`num_threads`] contiguous runs whose
+/// boundaries are a pure function of `(slots.len(), num_threads())`; run
+/// `i` executes on the same thread [`run_tasks`] always gives task `i`
+/// (run 0 inline on the caller, run `i` on pool worker `i-1`), and slots
+/// within a run execute in ascending index order. Task panics propagate
+/// to the caller after all sibling tasks finish, exactly like every
+/// other pool launch.
+///
+/// Determinism note: grouping only affects *where* a slot runs, never
+/// what it computes — each slot must be computable independently of the
+/// others (they are handed out as disjoint `&mut`), so results are
+/// byte-identical across thread counts by construction.
+pub fn scatter_mut<T, F>(slots: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = slots.len();
+    let tasks = num_threads().min(n).max(1);
+    if tasks <= 1 || n == 0 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            f(i, slot);
+        }
+        return;
+    }
+    let per = n.div_ceil(tasks);
+    let base = slots.as_mut_ptr();
+    let mut parts = Vec::with_capacity(tasks);
+    let mut start = 0usize;
+    while start < n {
+        let take = per.min(n - start);
+        parts.push(RawPart {
+            start_row: start,
+            end_row: start + take,
+            // SAFETY: `start < n` here, so `start` is an in-bounds offset
+            // of the `slots` allocation.
+            ptr: unsafe { base.add(start) },
+            len: take,
+        });
+        start += take;
+    }
+    run_tasks(parts.len(), |i| {
+        let p = &parts[i];
+        // SAFETY: the parts tile `slots` without overlap (consecutive
+        // slot offsets), `run_tasks` invokes each index exactly once,
+        // and `slots`' `&mut` borrow is held across the join — so this
+        // is the sole live reference to the run.
+        let run = unsafe { std::slice::from_raw_parts_mut(p.ptr, p.len) };
+        for (j, slot) in run.iter_mut().enumerate() {
+            f(p.start_row + j, slot);
+        }
+    });
+}
+
 /// A raw chunk of the output buffer, pre-split so disjoint `&mut` slices
 /// can be reconstructed inside the shared task closure. Generic over the
 /// element type so both `f32` kernel outputs and `i8` quantized buffers
@@ -383,6 +442,48 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, (i % 127) as i8);
         }
+    }
+
+    #[test]
+    fn scatter_mut_visits_each_slot_exactly_once() {
+        set_num_threads(3);
+        let mut slots: Vec<(usize, u32)> = (0..17).map(|i| (i, 0)).collect();
+        scatter_mut(&mut slots, |i, s| {
+            assert_eq!(i, s.0, "slot index must match position");
+            s.1 += 1;
+        });
+        assert!(slots.iter().all(|&(_, hits)| hits == 1));
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn scatter_mut_results_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<f32> {
+            set_num_threads(threads);
+            let mut slots = vec![0.0f32; 64];
+            scatter_mut(&mut slots, |i, s| *s = (i * i) as f32 * 0.5);
+            set_num_threads(0);
+            slots
+        };
+        let base = run(1);
+        for t in [2, 3, 4, 7] {
+            assert_eq!(base, run(t), "scatter result changed at {t} threads");
+        }
+    }
+
+    #[test]
+    fn scatter_mut_panic_propagates() {
+        set_num_threads(2);
+        let caught = std::panic::catch_unwind(|| {
+            let mut slots = vec![0u8; 8];
+            scatter_mut(&mut slots, |i, _| {
+                if i == 5 {
+                    panic!("boom in slot 5");
+                }
+            });
+        });
+        set_num_threads(0);
+        assert!(caught.is_err(), "slot panic must reach the launcher");
     }
 
     #[test]

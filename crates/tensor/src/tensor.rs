@@ -109,6 +109,18 @@ impl<E: Element> Tensor<E> {
         self.data.as_ref().clone()
     }
 
+    /// Recover the owned buffer, without copying when this handle is the
+    /// sole owner of the storage (clones otherwise). Lets hot loops
+    /// round-trip a reusable scratch `Vec` through a [`Tensor`] — e.g.
+    /// the batched decode step, which rebuilds a `[B, D]` activation
+    /// tensor every layer without reallocating.
+    pub fn into_vec(self) -> Vec<E> {
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => v,
+            Err(shared) => shared.as_ref().clone(),
+        }
+    }
+
     /// Internal: build from parts without re-validating (callers guarantee
     /// `data.len() == shape.numel()`).
     pub(crate) fn from_parts(shape: Shape, data: Vec<E>) -> Tensor<E> {
@@ -252,6 +264,20 @@ mod tests {
         let t = Tensor::zeros(&[1024]);
         let u = t.clone();
         assert!(std::ptr::eq(t.data().as_ptr(), u.data().as_ptr()));
+    }
+
+    #[test]
+    fn into_vec_recovers_sole_owned_storage_without_copy() {
+        let t = Tensor::arange(8);
+        let before = t.data().as_ptr();
+        let v = t.into_vec();
+        assert!(std::ptr::eq(before, v.as_ptr()), "sole owner must not copy");
+        // A shared handle falls back to cloning and leaves the peer valid.
+        let t = Tensor::from_vec(v, &[8]).unwrap();
+        let peer = t.clone();
+        let w = t.into_vec();
+        assert_eq!(w, peer.to_vec());
+        assert!(!std::ptr::eq(peer.data().as_ptr(), w.as_ptr()));
     }
 
     #[test]

@@ -246,6 +246,33 @@ impl Timer {
             .collect();
     }
 
+    /// Record a self-measured duration: `routine(iters)` runs the
+    /// workload `iters` times and returns the *measured* nanoseconds to
+    /// attribute to them — which need not be the closure's wall time.
+    /// This is how phase-isolating benches work: e.g. the paged-attention
+    /// harness runs whole decode steps but returns only the `attend_ns`
+    /// histogram delta, so the JSON compares attention-phase time with
+    /// the surrounding GEMMs excluded. Iterations per sample are scaled
+    /// from the closure's *wall* cost (not the reported ns) so a phase
+    /// that is a small slice of a big step cannot blow the time budget.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> u64) {
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            bb(routine(1));
+            warm_iters += 1;
+            if start.elapsed() >= self.knobs.warmup {
+                break;
+            }
+        }
+        let est_wall = (start.elapsed() / warm_iters.max(1) as u32).max(Duration::from_nanos(1));
+        let ipers = (self.knobs.target_sample.as_nanos() / est_wall.as_nanos()).clamp(1, 1 << 24) as u64;
+        self.iters_per_sample = ipers;
+        self.sample_ns = (0..self.knobs.samples)
+            .map(|_| routine(ipers) as f64 / ipers as f64)
+            .collect();
+    }
+
     /// Time `routine` on inputs built (untimed) by `setup`.
     pub fn iter_batched<I, R>(
         &mut self,
@@ -491,6 +518,23 @@ mod tests {
         assert_eq!(m.name, "f/64");
         assert_eq!(m.samples, 3);
         assert!(matches!(m.throughput, Some(Throughput::Elements(64))));
+    }
+
+    #[test]
+    fn iter_custom_reports_the_closure_measurement() {
+        // The routine claims exactly 10ns per iteration regardless of
+        // its real wall cost; the measurement must reflect the claim.
+        let mut b = fast_bench();
+        b.bench_function("custom", |t| {
+            t.iter_custom(|iters| {
+                bb((0..iters * 50).sum::<u64>());
+                iters * 10
+            })
+        });
+        let m = &b.results()[0];
+        assert_eq!(m.name, "custom");
+        assert!((m.mean_ns - 10.0).abs() < 1e-9, "mean {}", m.mean_ns);
+        assert_eq!(m.min_ns, 10.0);
     }
 
     #[test]

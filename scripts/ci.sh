@@ -34,6 +34,10 @@ RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD}" \
     cargo bench -p ratatouille-bench --bench quantized_decode --offline
 RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD}" \
     cargo bench -p ratatouille-bench --bench batched_decode --offline
+# Also the paged-attention determinism gate: the harness asserts the
+# sweep reproduces the serial reference streams before timing anything.
+RAT_BENCH_FAST=1 RAT_BENCH_DIR="${RAT_BENCH_DIR:-$PWD}" \
+    cargo bench -p ratatouille-bench --bench paged_attention --offline
 
 echo "== /metrics smoke (serve, scrape, assert required metric names) =="
 cargo run --release -q -p ratatouille-bench --bin metrics_smoke --offline
@@ -41,7 +45,7 @@ cargo run --release -q -p ratatouille-bench --bin metrics_smoke --offline
 echo "== quantized-generation smoke (int8 decode: finite, deterministic, thread-invariant) =="
 cargo run --release -q -p ratatouille-bench --bin quantized_smoke --offline
 
-echo "== batched-decode smoke (batch determinism, KV-prefix hits, >=2x shared-batch throughput) =="
+echo "== batched-decode smoke (batch determinism, KV-prefix hits, >=2x shared-batch throughput, long-context sweep determinism) =="
 cargo run --release -q -p ratatouille-bench --bin batched_smoke --offline
 
 echo "== ci.sh: all gates passed =="
