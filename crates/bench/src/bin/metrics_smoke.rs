@@ -43,6 +43,8 @@ const REQUIRED_LABELED: &[&str] = &[
     "decode_batch_size_count{model=\"distilgpt2\"}",
     "decode_kv_hits_total{model=\"distilgpt2\"}",
     "decode_kv_misses_total{model=\"distilgpt2\"}",
+    "train_tokens_per_sec{model=\"word-level-lstm\"}",
+    "generate_latency_ns_count{model=\"word-level-lstm\"}",
 ];
 
 fn main() {

@@ -117,15 +117,7 @@ pub fn generate<M: InferenceModel + ?Sized>(
 /// `-` (runs collapse to one, edges trimmed). `"GPT-2 medium [int8]"`
 /// becomes `"gpt-2-medium-int8"`.
 pub fn metric_label(name: &str) -> String {
-    let mut out = String::with_capacity(name.len());
-    for c in name.chars() {
-        if c.is_ascii_alphanumeric() {
-            out.push(c.to_ascii_lowercase());
-        } else if !out.ends_with('-') {
-            out.push('-');
-        }
-    }
-    out.trim_matches('-').to_string()
+    obs::metrics::label_value(name)
 }
 
 /// Pick the next token from raw logits according to the config.
@@ -158,6 +150,7 @@ pub fn select_token(logits: &Tensor, cfg: &SamplerConfig, rng: &mut StdRng) -> u
         let mut cum = 0.0f32;
         let mut cut = probs.len();
         for (i, &p) in probs.iter().enumerate() {
+            // xlint: allow(accum-discipline): the running prefix sum over the sorted distribution IS the top-p semantics; order is the point
             cum += p;
             if cum >= cfg.top_p {
                 cut = i + 1;
@@ -180,6 +173,7 @@ pub fn select_token(logits: &Tensor, cfg: &SamplerConfig, rng: &mut StdRng) -> u
             return i as u32;
         }
     }
+    // xlint: allow(transitive-panic-in-request-path): `kept` holds at least one index — top-k/top-p always keep >= 1 candidate
     *kept.last().unwrap() as u32
 }
 

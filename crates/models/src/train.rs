@@ -220,6 +220,7 @@ impl<'a> Trainer<'a> {
                 } else {
                     loss
                 };
+                // xlint: allow(accum-discipline): each term is produced by an interleaved backward(); the loop cannot be folded into an iterator reduction
                 loss_val += loss.value().item();
                 loss.backward();
             }
@@ -264,6 +265,11 @@ impl<'a> Trainer<'a> {
         let tokens_per_sec = if wall > 0.0 { tokens as f64 / wall } else { 0.0 };
         obs::static_counter!("train_tokens_total").add(tokens as u64);
         obs::static_gauge!("train_tokens_per_sec").set(tokens_per_sec);
+        obs::metrics::gauge(&format!(
+            "train_tokens_per_sec{{model=\"{}\"}}",
+            crate::sample::metric_label(self.model.name())
+        ))
+        .set(tokens_per_sec);
         TrainStats {
             steps_run: losses.len(),
             tokens_per_sec,
@@ -276,16 +282,11 @@ impl<'a> Trainer<'a> {
     /// batches.
     pub fn eval_loss(&self, max_batches: usize) -> f32 {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xEAEA);
-        let mut sum = 0.0;
         let n = max_batches.max(1);
-        for _ in 0..n {
+        let sum = ratatouille_util::accum::sum_f32((0..n).map(|_| {
             let batch = self.dataset.sample_batch(self.config.batch_size, &mut rng);
-            sum += self
-                .model
-                .forward_loss(&batch, false, &mut rng)
-                .value()
-                .item();
-        }
+            self.model.forward_loss(&batch, false, &mut rng).value().item()
+        }));
         sum / n as f32
     }
 

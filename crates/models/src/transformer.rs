@@ -252,6 +252,7 @@ impl Block {
             }
             attend_batch(&mut slots, heads, dh, scale);
         }
+        // xlint: allow(transitive-panic-in-request-path): `ctx` is built as exactly `b * d` floats in this function; the shape cannot mismatch
         let ctx = Tensor::from_vec(ctx, &[b, d]).expect("ctx is [B, D]");
         let attn = ops::add_broadcast(&ops::matmul(&ctx, &self.w_o.value()), &self.b_o.value());
         // Round the ctx buffer back into the arena for the next layer
@@ -530,6 +531,7 @@ pub(crate) fn attend_batch(slots: &mut [AttnSlot<'_>], heads: usize, dh: usize, 
     let start = obs::Clock::now();
     match attention_mode() {
         AttentionMode::Sweep => {
+            // SAFETY(disjoint: slots[i] — each task owns one `AttnSlot` and writes only its own `out`/`scratch`)
             ratatouille_tensor::par::scatter_mut(slots, |_, slot| {
                 attend(slot.q, heads, dh, 0, &slot.view, slot.scratch, scale);
                 slot.out.copy_from_slice(&slot.scratch.ctx);

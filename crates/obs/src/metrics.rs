@@ -249,11 +249,29 @@ fn get_or_register(name: &str, make: impl FnOnce() -> Metric) -> Metric {
     reg.entry(name.to_string()).or_insert_with(make).clone()
 }
 
+/// Sanitize a display name into a Prometheus label value: lowercase
+/// alphanumerics pass through, everything else collapses to `-` (runs
+/// collapse to one, edges trimmed). `"GPT-2 medium [int8]"` becomes
+/// `"gpt-2-medium-int8"`. Used to build inline-label twins like
+/// `generate_latency_ns{model="distilgpt2"}` from model card names.
+pub fn label_value(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
 /// Get or register the counter `name`. Panics if `name` is already
 /// registered as a different metric kind (a programming error).
 pub fn counter(name: &str) -> Arc<Counter> {
     match get_or_register(name, || Metric::Counter(Arc::new(Counter::default()))) {
         Metric::Counter(c) => c,
+        // xlint: allow(transitive-panic-in-request-path): a kind mismatch is a compile-time-class programming error; any test touching the metric trips it immediately
         other => panic!("metric `{name}` already registered as {}", other.kind()),
     }
 }
@@ -262,6 +280,7 @@ pub fn counter(name: &str) -> Arc<Counter> {
 pub fn gauge(name: &str) -> Arc<Gauge> {
     match get_or_register(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
         Metric::Gauge(g) => g,
+        // xlint: allow(transitive-panic-in-request-path): a kind mismatch is a compile-time-class programming error; any test touching the metric trips it immediately
         other => panic!("metric `{name}` already registered as {}", other.kind()),
     }
 }
@@ -270,6 +289,7 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
 pub fn histogram(name: &str) -> Arc<Histogram> {
     match get_or_register(name, || Metric::Histogram(Arc::new(Histogram::default()))) {
         Metric::Histogram(h) => h,
+        // xlint: allow(transitive-panic-in-request-path): a kind mismatch is a compile-time-class programming error; any test touching the metric trips it immediately
         other => panic!("metric `{name}` already registered as {}", other.kind()),
     }
 }

@@ -61,6 +61,7 @@ pub fn recipe_pairing_score(recipe: &Recipe) -> f64 {
     let mut n = 0usize;
     for i in 0..ings.len() {
         for j in i + 1..ings.len() {
+            // xlint: allow(accum-discipline): f64 sum over the (i, j) pair order, which is fixed by the loops
             sum += pairing_score(ings[i], ings[j]);
             n += 1;
         }

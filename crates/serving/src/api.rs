@@ -157,11 +157,18 @@ impl ApiServer {
             queue_cap,
             move |wi| {
                 let mut backend = factory(wi);
+                // Per-model twin of the aggregate latency histogram,
+                // resolved once per worker (never in the hot path).
+                let labeled_latency = obs::metrics::histogram(&format!(
+                    "generate_latency_ns{{model=\"{}\"}}",
+                    obs::metrics::label_value(&backend.model_name())
+                ));
                 move |job: GenJob| {
                     let start = obs::Clock::now();
                     let recipe = backend.generate_seeded(&job.ingredients, &job.dtype, job.seed);
                     let ns = start.elapsed_ns();
                     obs::static_histogram!("generate_latency_ns").observe(ns);
+                    labeled_latency.observe(ns);
                     GenOut {
                         recipe,
                         model: backend.model_name(),

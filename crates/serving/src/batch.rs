@@ -320,6 +320,12 @@ fn run_loop(
     depth: &AtomicU64,
 ) {
     let mut scheduler = Scheduler::new(cfg.depth_hi, cfg.depth_lo);
+    // Per-model twin of the aggregate latency histogram, resolved once
+    // before the step loop (never in the hot path).
+    let labeled_latency = obs::metrics::histogram(&format!(
+        "generate_latency_ns{{model=\"{}\"}}",
+        obs::metrics::label_value(&backend.model_name())
+    ));
     let mut waiting: VecDeque<BatchJob> = VecDeque::new();
     let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
     let mut disconnected = false;
@@ -421,6 +427,7 @@ fn run_loop(
             if let Some(fl) = inflight.remove(&id) {
                 let latency_ns = obs::Clock::now().at_ns().saturating_sub(fl.enqueued_ns);
                 obs::static_histogram!("generate_latency_ns").observe(latency_ns);
+                labeled_latency.observe(latency_ns);
                 let _ = fl.reply.send(Ok(BatchOut {
                     recipe,
                     latency_ms: latency_ns as f64 / 1e6,

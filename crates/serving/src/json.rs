@@ -155,6 +155,7 @@ impl<'a> Parser<'a> {
     }
 
     fn expect_lit(&mut self, lit: &str) -> Result<(), JsonError> {
+        // xlint: allow(transitive-panic-in-request-path): `pos` never exceeds `bytes.len()` — every advance is length-checked — so the range slice cannot panic
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(())
@@ -278,6 +279,7 @@ impl<'a> Parser<'a> {
                         if end > self.bytes.len() {
                             return Err(self.err("truncated utf-8"));
                         }
+                        // xlint: allow(transitive-panic-in-request-path): `end > bytes.len()` returned an error on the previous line, so the slice is in bounds
                         let s = std::str::from_utf8(&self.bytes[start..end])
                             .map_err(|_| self.err("invalid utf-8"))?;
                         out.push_str(s);

@@ -111,12 +111,12 @@ fn mk_row_portable(a: &[f32], panel: &[f32], kc: usize, o: &mut [f32]) {
 
 /// AVX2+FMA microkernel: `MR = 4` rows of A (row stride `lda`) against one
 /// `kc × NR` panel, accumulating into 4 output rows (row stride `ldo`).
-// SAFETY: callers must (1) have verified AVX2+FMA via `use_avx2_fma()`
-// (`#[target_feature]`), (2) pass `a` valid for reads over 4 rows of
+// SAFETY(invariant: caller-verified AVX2+FMA plus in-bounds non-aliasing pointers)
+// Callers must have verified AVX2+FMA via `use_avx2_fma()`
+// (`#[target_feature]`) and pass `a` valid for reads over 4 rows of
 // stride `lda` × `kc` columns, `panel` valid for `kc * NR` reads, and
 // `o` valid for read+write over 4 rows of stride `ldo` × NR columns,
-// with `o` not aliasing `a`/`panel`. All accesses are unaligned
-// (`loadu`/`storeu`), so no alignment obligations.
+// not aliasing `a`/`panel`. All accesses are unaligned (`loadu`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn mk_avx_4x16(a: *const f32, lda: usize, panel: *const f32, kc: usize, o: *mut f32, ldo: usize) {
@@ -158,9 +158,10 @@ unsafe fn mk_avx_4x16(a: *const f32, lda: usize, panel: *const f32, kc: usize, o
 /// AVX2+FMA microkernel for a single row (the `m % MR` remainder). Each
 /// output element's FMA chain is identical to its chain in
 /// [`mk_avx_4x16`], so row grouping never changes results.
-// SAFETY: same contract as `mk_avx_4x16` restricted to one row — caller
-// verified AVX2+FMA, `a` valid for `kc` reads, `panel` for `kc * NR`
-// reads, `o` for NR non-aliasing read+writes; unaligned access only.
+// SAFETY(invariant: the `mk_avx_4x16` contract restricted to one row)
+// Caller verified AVX2+FMA, `a` valid for `kc` reads, `panel` for
+// `kc * NR` reads, `o` for NR non-aliasing read+writes; unaligned access
+// only.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn mk_avx_1x16(a: *const f32, panel: *const f32, kc: usize, o: *mut f32) {
@@ -187,10 +188,10 @@ fn accumulate_row(o: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
     debug_assert_eq!(o.len(), n);
     #[cfg(target_arch = "x86_64")]
     if simd::use_avx2_fma() {
-        // SAFETY: `use_avx2_fma()` just returned true, meeting the
-        // `#[target_feature]` contract, and the debug-asserted bounds
-        // (`a.len() == k`, `b.len() >= k*n`, `o.len() == n`) match the
-        // slice-derived pointers `accumulate_row_avx` offsets within.
+        // SAFETY(invariant: `use_avx2_fma()` just returned true and the bounds hold)
+        // Meets the `#[target_feature]` contract; the debug-asserted
+        // bounds (`a.len() == k`, `b.len() >= k*n`, `o.len() == n`) match
+        // the slice-derived pointers `accumulate_row_avx` offsets within.
         unsafe { accumulate_row_avx(o, a, b, k, n) };
         return;
     }
@@ -216,11 +217,12 @@ fn accumulate_row(o: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
     }
 }
 
-// SAFETY: unsafe solely for `#[target_feature]` — callers must have
-// verified AVX2+FMA. Pointers derive from the borrowed slices, so
-// validity and non-aliasing follow from the borrows; every offset is in
-// bounds given `a.len() == k`, `b.len() >= k*n`, `o.len() == n` (loops
-// guard with `kk + 4 <= k`, `j + 8 <= n`, `j < n`). Unaligned access.
+// SAFETY(invariant: unsafe solely for `#[target_feature]` — borrows carry validity)
+// Callers must have verified AVX2+FMA. Pointers derive from the borrowed
+// slices, so validity and non-aliasing follow from the borrows; every
+// offset is in bounds given `a.len() == k`, `b.len() >= k*n`,
+// `o.len() == n` (loops guard with `kk + 4 <= k`, `j + 8 <= n`,
+// `j < n`). Unaligned access.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn accumulate_row_avx(o: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
@@ -301,14 +303,13 @@ fn gemm_rows_packed(
                 let take = MR.min(rows.end - r);
                 #[cfg(target_arch = "x86_64")]
                 if avx {
-                    // SAFETY: `avx` means `use_avx2_fma()` held, so the
-                    // microkernels' `#[target_feature]` contract is met.
-                    // `a_ptr` covers `take` (≤ MR) rows of stride `lda`
-                    // ending at `(r+take-1)*lda + k0 + kc <= a.len()`;
-                    // `panel` holds exactly `kc * NR` floats; `o_ptr`
-                    // writes `take` rows of stride `n` inside `chunk`,
-                    // the worker's exclusive &mut output range — so all
-                    // accesses are in bounds and non-aliasing.
+                    // SAFETY(invariant: `avx` held and all microkernel accesses stay in bounds)
+                    // `use_avx2_fma()` meets the `#[target_feature]`
+                    // contract. `a_ptr` covers `take` (≤ MR) rows of
+                    // stride `lda` ending at `(r+take-1)*lda + k0 + kc
+                    // <= a.len()`; `panel` holds exactly `kc * NR`
+                    // floats; `o_ptr` writes `take` rows of stride `n`
+                    // inside `chunk`, the worker's exclusive &mut range.
                     unsafe {
                         let a_ptr = a.as_ptr().add(r * lda + k0);
                         let o_ptr = chunk.as_mut_ptr().add(local * n + nb * NR);
@@ -385,6 +386,7 @@ fn matmul_raw(ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> 
     if m < SMALL_M || n < NR {
         // Packing can't amortize (decode-sized or skinny output): run the
         // unpacked row-accumulate kernel, row-parallel.
+        // SAFETY(disjoint: out[rows] — workers receive non-overlapping row chunks of `out`)
         parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
             for (local, row) in rows.enumerate() {
                 let o_row = &mut chunk[local * n..(local + 1) * n];
@@ -395,6 +397,7 @@ fn matmul_raw(ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> 
     }
     // Pack once on the launching thread; workers share it read-only.
     let pb = pack_b(bd, k, n);
+    // SAFETY(disjoint: out[rows] — workers receive non-overlapping row chunks of `out`)
     parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
         gemm_rows_packed(rows, chunk, ad, k, &pb, bd, n);
     });
@@ -423,13 +426,14 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
     if m == 1 {
         // Decode path: one output row of N dots — split the columns.
         struct SendPtr(*mut f32);
-        // SAFETY: `SendPtr` wraps the base of `out`, which outlives the
-        // `parallel_chunks` scope; workers only offset it into disjoint
-        // column ranges (see the `from_raw_parts_mut` below), so sending
-        // the pointer across threads cannot create aliased &mut access.
+        // SAFETY(invariant: workers only offset the base into disjoint column ranges)
+        // `SendPtr` wraps the base of `out`, which outlives the
+        // `parallel_chunks` scope (see the `from_raw_parts_mut` below),
+        // so sending the pointer across threads cannot create aliased
+        // &mut access.
         unsafe impl Send for SendPtr {}
-        // SAFETY: shared by reference only to read the address (`get`);
-        // the disjoint-range argument above covers concurrent use.
+        // SAFETY(invariant: shared access only reads the address via `get`)
+        // The disjoint-range argument above covers concurrent use.
         unsafe impl Sync for SendPtr {}
         impl SendPtr {
             fn get(&self) -> *mut f32 {
@@ -438,11 +442,11 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
         }
         let base = SendPtr(out.as_mut_ptr());
         parallel_chunks(n, MIN_COLS_PER_THREAD, |s, e, _| {
-            // SAFETY: `parallel_chunks` hands each worker a distinct
-            // `[s, e)` with `e <= n == out.len()`, so this reconstructed
-            // slice stays inside the live `out` allocation and no two
-            // workers' slices overlap; `out` is not touched by the
-            // launching thread until `parallel_chunks` joins.
+            // SAFETY(disjoint: out[s .. e] — each worker gets a distinct column range)
+            // `e <= n == out.len()`, so this reconstructed slice stays
+            // inside the live `out` allocation and no two workers'
+            // slices overlap; `out` is not touched by the launching
+            // thread until `parallel_chunks` joins.
             let o = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
             for (j, nn) in (s..e).enumerate() {
                 o[j] = simd::dot(ad, &bd[nn * k..nn * k + k]);
@@ -456,6 +460,7 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
         // element is still one independent `simd::dot` over `k`, so
         // every row's bits are identical to its `m = 1` result (the
         // batch-invariance contract).
+        // SAFETY(disjoint: out[rows] — workers receive non-overlapping row chunks of `out`)
         parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
             let rows: Vec<usize> = rows.collect();
             for nn in 0..n {
@@ -540,6 +545,7 @@ fn bmm_impl(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
     let mut out = vec![0.0f32; batch * m * n];
     // Parallelize across the fused (batch, m) row space; per-batch mats
     // are attention-sized, so the unpacked kernels are the right tool.
+    // SAFETY(disjoint: out[rows] — workers tile the fused (batch, m) row space)
     parallel_rows_mut(&mut out, batch * m, n, MIN_ROWS_PER_THREAD, |rows, chunk| {
         for (local, row) in rows.enumerate() {
             let (bi, mm) = (row / m, row % m);

@@ -109,6 +109,7 @@ pub fn quantize_per_row(w: &Tensor) -> QuantizedMatrix {
         *s = amax / 127.0;
     }
     let mut codes = vec![0i8; n * k];
+    // SAFETY(disjoint: codes[range] — workers receive non-overlapping row chunks)
     par::parallel_rows_mut(&mut codes, n, k, MIN_ROWS_PER_THREAD, |range, chunk| {
         for (i, row) in range.clone().enumerate() {
             let scale = scales[row];
@@ -186,10 +187,12 @@ pub fn qmatmul_transb(a: &Tensor, w: &QuantizedMatrix) -> Tensor {
         // Decode path: one activation row, split the output columns.
         let qrow = &qa[..k];
         let a_scale = a_scales[0];
+        // SAFETY(disjoint: out[range] — column spans of the single output row never overlap)
         par::parallel_rows_mut(&mut out, n, 1, MIN_COLS_PER_THREAD, |range, chunk| {
             qgemv(qrow, codes, k, range.start, scales, a_scale, chunk);
         });
     } else {
+        // SAFETY(disjoint: out[range] — workers receive non-overlapping row chunks)
         par::parallel_rows_mut(&mut out, m, n, MIN_ROWS_PER_THREAD, |range, chunk| {
             for (i, row) in range.clone().enumerate() {
                 let qrow = &qa[row * k..(row + 1) * k];
@@ -233,8 +236,8 @@ fn quantize_row_into(src: &[f32], dst: &mut [i8]) -> f32 {
 fn qgemv(qrow: &[i8], codes: &[i8], k: usize, col0: usize, scales: &[f32], a_scale: f32, out: &mut [f32]) {
     #[cfg(target_arch = "x86_64")]
     if crate::ops::simd::use_avx2() {
-        // SAFETY: `use_avx2()` returned true, so the one-time cpuid probe
-        // confirmed AVX2 on this host — `qgemv_avx2`'s
+        // SAFETY(invariant: `use_avx2()` returned true on this host)
+        // The one-time cpuid probe confirmed AVX2 — `qgemv_avx2`'s
         // `#[target_feature]` contract holds.
         unsafe { qgemv_avx2(qrow, codes, k, col0, scales, a_scale, out) };
         return;
@@ -246,10 +249,10 @@ fn qgemv(qrow: &[i8], codes: &[i8], k: usize, col0: usize, scales: &[f32], a_sca
     }
 }
 
-// SAFETY: unsafe solely for `#[target_feature]` — callers must have
-// verified AVX2 via `use_avx2()`. Slice indexing stays bounds-checked;
-// the per-column `dot_i8_avx2` inlines here because this frame already
-// has the `avx2` feature enabled.
+// SAFETY(invariant: unsafe solely for `#[target_feature]` — caller-verified AVX2)
+// Callers must have verified AVX2 via `use_avx2()`. Slice indexing stays
+// bounds-checked; the per-column `dot_i8_avx2` inlines here because this
+// frame already has the `avx2` feature enabled.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn qgemv_avx2(
@@ -268,8 +271,8 @@ unsafe fn qgemv_avx2(
     let mut i = 0usize;
     while i + 2 <= out.len() {
         let col = col0 + i;
-        // SAFETY: same-feature frame (see function-level comment); both
-        // slices are exactly `k` long, matching `qrow`.
+        // SAFETY(invariant: same-feature frame and both slices are exactly `k` long)
+        // See the function-level comment; the column slices match `qrow`.
         let (a0, a1) = unsafe {
             dot2_i8_avx2(
                 qrow,
@@ -283,7 +286,7 @@ unsafe fn qgemv_avx2(
     }
     if i < out.len() {
         let col = col0 + i;
-        // SAFETY: as above — one trailing column.
+        // SAFETY(invariant: as above — one trailing column)
         let acc = unsafe { dot_i8_avx2(qrow, &codes[col * k..(col + 1) * k]) };
         out[i] = a_scale * scales[col] * acc as f32;
     }
@@ -293,8 +296,8 @@ unsafe fn qgemv_avx2(
 // shared `|x|`/sign-transfer operands are recomputed bit-identically and
 // integer accumulation is exact in any order.
 //
-// SAFETY: unsafe solely for `#[target_feature]` — see `dot_i8_avx2`; the
-// same bounds argument applies to both `y0` and `y1` (each `x.len()`
+// SAFETY(invariant: unsafe solely for `#[target_feature]` — see `dot_i8_avx2`)
+// The same bounds argument applies to both `y0` and `y1` (each `x.len()`
 // long, guarded by `i + 32 <= n` and the scalar tail).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
@@ -349,8 +352,8 @@ fn dot_i8(x: &[i8], y: &[i8]) -> i32 {
     debug_assert!(x.iter().chain(y).all(|&v| v != i8::MIN));
     #[cfg(target_arch = "x86_64")]
     if crate::ops::simd::use_avx2() {
-        // SAFETY: `use_avx2()` returned true, so the one-time cpuid probe
-        // confirmed AVX2 on this host — `dot_i8_avx2`'s
+        // SAFETY(invariant: `use_avx2()` returned true and slice lengths are equal)
+        // The one-time cpuid probe confirmed AVX2 — `dot_i8_avx2`'s
         // `#[target_feature]` contract holds. Equal slice lengths hold by
         // construction (both are K-length rows), checked by the
         // debug_assert above.
@@ -373,11 +376,10 @@ fn dot_i8_portable(x: &[i8], y: &[i8]) -> i32 {
 // `|x|·(sign(x)·y) = x·y` is exact. `sign(x) == 0` zeroes both operands,
 // matching `x == 0 ⇒ x·y == 0`.
 //
-// SAFETY: unsafe solely for `#[target_feature]` — callers must have
-// verified AVX2 via `use_avx2()` before calling. All loads are unaligned
-// (`loadu`) and every `x/y.as_ptr().add(i)` stays in bounds: `i + 32 <= n`
-// guards the vector loop and `i < n` the scalar tail, with
-// `x.len() == y.len() == n` guaranteed by the caller.
+// SAFETY(invariant: unsafe solely for `#[target_feature]` — caller-verified AVX2)
+// All loads are unaligned (`loadu`) and every `x/y.as_ptr().add(i)` stays
+// in bounds: `i + 32 <= n` guards the vector loop and `i < n` the scalar
+// tail, with `x.len() == y.len() == n` guaranteed by the caller.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[inline]

@@ -77,10 +77,10 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
     #[cfg(target_arch = "x86_64")]
     if use_avx2_fma() {
-        // SAFETY: `use_avx2_fma()` returned true, so the one-time cpuid
-        // probe confirmed AVX2+FMA on this host — `dot_avx`'s
-        // `#[target_feature]` contract holds. Equal slice lengths were
-        // asserted above, which is the only bound `dot_avx` relies on.
+        // SAFETY(invariant: `use_avx2_fma()` returned true and lengths were asserted equal)
+        // The one-time cpuid probe confirmed AVX2+FMA on this host —
+        // `dot_avx`'s `#[target_feature]` contract holds; the length
+        // equality is the only bound `dot_avx` relies on.
         return unsafe { dot_avx(a, b) };
     }
     dot_portable(a, b)
@@ -105,10 +105,10 @@ fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
-// SAFETY: unsafe solely for `#[target_feature]` — callers must have
-// verified AVX2+FMA via `use_avx2_fma()` before calling. All loads use
-// `loadu` (no alignment requirement) and every `ap/bp.add(i)` stays in
-// bounds: `i + 16 <= n`, `i + 8 <= n` and `i < n` guard each loop.
+// SAFETY(invariant: unsafe solely for `#[target_feature]` — caller-verified AVX2+FMA)
+// All loads use `loadu` (no alignment requirement) and every
+// `ap/bp.add(i)` stays in bounds: `i + 16 <= n`, `i + 8 <= n` and
+// `i < n` guard each loop.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn dot_avx(a: &[f32], b: &[f32]) -> f32 {
@@ -152,9 +152,9 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     #[cfg(target_arch = "x86_64")]
     if use_avx2_fma() {
-        // SAFETY: cpuid probe above confirmed AVX2+FMA, satisfying
-        // `axpy_avx`'s `#[target_feature]` contract; the length equality
-        // it indexes by was just asserted.
+        // SAFETY(invariant: cpuid probe confirmed AVX2+FMA and lengths were asserted)
+        // Satisfies `axpy_avx`'s `#[target_feature]` contract; the length
+        // equality it indexes by was just asserted.
         unsafe { axpy_avx(alpha, x, y) };
         return;
     }
@@ -163,10 +163,10 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
-// SAFETY: unsafe solely for `#[target_feature]` — callers must have
-// verified AVX2+FMA via `use_avx2_fma()`. Unaligned loads/stores via
-// `loadu`/`storeu`; `xp/yp.add(j)` bounded by `j + 8 <= n` / `j < n`
-// with `x.len() == y.len() == n` asserted by the caller.
+// SAFETY(invariant: unsafe solely for `#[target_feature]` — caller-verified AVX2+FMA)
+// Unaligned loads/stores via `loadu`/`storeu`; `xp/yp.add(j)` bounded by
+// `j + 8 <= n` / `j < n` with `x.len() == y.len() == n` asserted by the
+// caller.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn axpy_avx(alpha: f32, x: &[f32], y: &mut [f32]) {
@@ -195,9 +195,9 @@ pub fn dot_f16(a: &[f32], b: &[F16]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot_f16: length mismatch");
     #[cfg(target_arch = "x86_64")]
     if use_f16c() {
-        // SAFETY: `use_f16c()` returned true, so the one-time cpuid probe
-        // confirmed F16C+AVX2+FMA on this host — `dot_f16_avx`'s
-        // `#[target_feature]` contract holds; equal lengths were asserted.
+        // SAFETY(invariant: `use_f16c()` returned true and lengths were asserted equal)
+        // The one-time cpuid probe confirmed F16C+AVX2+FMA on this host —
+        // `dot_f16_avx`'s `#[target_feature]` contract holds.
         return unsafe { dot_f16_avx(a, b) };
     }
     dot_f16_portable(a, b)
@@ -221,12 +221,12 @@ fn dot_f16_portable(a: &[f32], b: &[F16]) -> f32 {
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
-// SAFETY: unsafe solely for `#[target_feature]` — callers must have
-// verified F16C+AVX2+FMA via `use_f16c()` before calling. `F16` is
-// `#[repr(transparent)]` over `u16`, so `bp` casts to `*const __m128i`
-// loads of 8 halfs are layout-valid; all loads are unaligned (`loadu`)
-// and `ap/bp.add(i)` stays in bounds: `i + 8 <= n` and `i < n` guard
-// each loop, with `a.len() == b.len() == n` asserted by the caller.
+// SAFETY(invariant: unsafe solely for `#[target_feature]` — caller-verified F16C+AVX2+FMA)
+// `F16` is `#[repr(transparent)]` over `u16`, so `bp` casts to
+// `*const __m128i` loads of 8 halfs are layout-valid; all loads are
+// unaligned (`loadu`) and `ap/bp.add(i)` stays in bounds: `i + 8 <= n`
+// and `i < n` guard each loop, with `a.len() == b.len() == n` asserted
+// by the caller.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
 unsafe fn dot_f16_avx(a: &[f32], b: &[F16]) -> f32 {
@@ -275,9 +275,9 @@ pub fn axpy_f16(alpha: f32, x: &[F16], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy_f16: length mismatch");
     #[cfg(target_arch = "x86_64")]
     if use_f16c() {
-        // SAFETY: cpuid probe above confirmed F16C+AVX2+FMA, satisfying
-        // `axpy_f16_avx`'s `#[target_feature]` contract; the length
-        // equality it indexes by was just asserted.
+        // SAFETY(invariant: cpuid probe confirmed F16C+AVX2+FMA and lengths were asserted)
+        // Satisfies `axpy_f16_avx`'s `#[target_feature]` contract; the
+        // length equality it indexes by was just asserted.
         unsafe { axpy_f16_avx(alpha, x, y) };
         return;
     }
@@ -286,12 +286,11 @@ pub fn axpy_f16(alpha: f32, x: &[F16], y: &mut [f32]) {
     }
 }
 
-// SAFETY: unsafe solely for `#[target_feature]` — callers must have
-// verified F16C+AVX2+FMA via `use_f16c()`. `F16` is `#[repr(transparent)]`
-// over `u16` so the `__m128i` loads of 8 halfs are layout-valid; unaligned
-// loads/stores via `loadu`/`storeu`; `xp/yp.add(j)` bounded by
-// `j + 8 <= n` / `j < n` with `x.len() == y.len() == n` asserted by the
-// caller.
+// SAFETY(invariant: unsafe solely for `#[target_feature]` — caller-verified F16C+AVX2+FMA)
+// `F16` is `#[repr(transparent)]` over `u16` so the `__m128i` loads of 8
+// halfs are layout-valid; unaligned loads/stores via `loadu`/`storeu`;
+// `xp/yp.add(j)` bounded by `j + 8 <= n` / `j < n` with
+// `x.len() == y.len() == n` asserted by the caller.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
 unsafe fn axpy_f16_avx(alpha: f32, x: &[F16], y: &mut [f32]) {

@@ -98,6 +98,7 @@ fn pool() -> &'static Pool {
 impl Pool {
     /// Grow the pool to at least `n` workers and return their senders.
     fn workers(&self, n: usize) -> Vec<mpsc::Sender<Job>> {
+        // xlint: allow(transitive-panic-in-request-path): mutex poisoning means a worker already panicked; propagating is the only sane response
         let mut senders = self.senders.lock().unwrap();
         while senders.len() < n {
             let (tx, rx) = mpsc::channel::<Job>();
@@ -105,6 +106,7 @@ impl Pool {
             std::thread::Builder::new()
                 .name(format!("rat-pool-{id}"))
                 .spawn(move || worker_loop(rx))
+                // xlint: allow(transitive-panic-in-request-path): thread spawn failure is unrecoverable resource exhaustion; there is no degraded mode
                 .expect("failed to spawn pool worker");
             senders.push(tx);
         }
@@ -190,13 +192,12 @@ where
     let senders = pool().workers(tasks - 1);
     let (done_tx, done_rx) = mpsc::channel::<TaskResult>();
     let f_ref: &(dyn Fn(usize) + Sync) = &f;
-    // SAFETY: lifetime erasure only — the pointee is this frame's `f`.
-    // The fabricated 'static never outlives it because every exit path
-    // from this function (normal return, local panic, worker panic)
-    // runs `latch.drain()` — directly or via `Latch::drop` — which
-    // blocks until each dispatched job has sent its TaskResult, i.e.
-    // until no worker can touch `f` again. `F: Sync` makes the shared
-    // `&f` sound across the pool threads.
+    // SAFETY(invariant: the fabricated 'static never outlives this frame's `f`)
+    // Lifetime erasure only — every exit path from this function (normal
+    // return, local panic, worker panic) runs `latch.drain()` — directly
+    // or via `Latch::drop` — which blocks until each dispatched job has
+    // sent its TaskResult, i.e. until no worker can touch `f` again.
+    // `F: Sync` makes the shared `&f` sound across the pool threads.
     let f_static: &'static (dyn Fn(usize) + Sync) =
         unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(f_ref) };
     let mut latch = Latch {
@@ -211,6 +212,7 @@ where
                 enqueued_ns: obs::Clock::now().at_ns(),
                 done: done_tx.clone(),
             })
+            // xlint: allow(transitive-panic-in-request-path): workers never drop their receiver while the pool lives; a closed channel is a torn-down process
             .expect("pool worker channel closed");
         latch.outstanding += 1;
     }
@@ -290,8 +292,7 @@ where
         parts.push(RawPart {
             start_row: start,
             end_row: start + take,
-            // SAFETY: `start < n` here, so `start` is an in-bounds offset
-            // of the `slots` allocation.
+            // SAFETY(invariant: `start < n` makes this an in-bounds offset of `slots`)
             ptr: unsafe { base.add(start) },
             len: take,
         });
@@ -299,10 +300,10 @@ where
     }
     run_tasks(parts.len(), |i| {
         let p = &parts[i];
-        // SAFETY: the parts tile `slots` without overlap (consecutive
-        // slot offsets), `run_tasks` invokes each index exactly once,
-        // and `slots`' `&mut` borrow is held across the join — so this
-        // is the sole live reference to the run.
+        // SAFETY(disjoint: parts[i] — consecutive slot runs tile `slots` without overlap)
+        // `run_tasks` invokes each index exactly once, and `slots`' `&mut`
+        // borrow is held across the join — so this is the sole live
+        // reference to the run.
         let run = unsafe { std::slice::from_raw_parts_mut(p.ptr, p.len) };
         for (j, slot) in run.iter_mut().enumerate() {
             f(p.start_row + j, slot);
@@ -321,16 +322,17 @@ struct RawPart<T> {
     len: usize,
 }
 
-// SAFETY: a `RawPart` is only ever created by `parallel_rows_mut`, which
-// cuts one live `&mut [T]` into non-overlapping `[ptr, ptr+len)`
-// regions; moving a part to a pool thread therefore moves exclusive
-// access to its region, never shares it. `T: Send` bounds the element
-// itself to types whose exclusive access may cross threads.
+// SAFETY(invariant: moving a part moves exclusive access to its region)
+// A `RawPart` is only ever created by the scatter helpers, which cut one
+// live `&mut [T]` into non-overlapping `[ptr, ptr+len)` regions; moving a
+// part to a pool thread therefore never shares its region. `T: Send`
+// bounds the element itself to types whose exclusive access may cross
+// threads.
 unsafe impl<T: Send> Send for RawPart<T> {}
-// SAFETY: tasks receive `&RawPart` through the shared closure, but task
-// index `i` is dispatched exactly once, so each part's region is
-// reconstructed into a `&mut` slice by exactly one thread — the shared
-// reference is only used to read the (immutable) pointer and bounds.
+// SAFETY(invariant: shared access only reads the immutable pointer and bounds)
+// Tasks receive `&RawPart` through the shared closure, but task index `i`
+// is dispatched exactly once, so each part's region is reconstructed into
+// a `&mut` slice by exactly one thread.
 unsafe impl<T: Send> Sync for RawPart<T> {}
 
 /// Fill disjoint row-chunks of `out`, where each chunk of `rows` rows of
@@ -360,9 +362,7 @@ where
         parts.push(RawPart {
             start_row: row,
             end_row: row + take,
-            // SAFETY: `row < rows` here and `out.len() == rows * row_len`
-            // was asserted above, so `row * row_len` is an in-bounds
-            // offset of the `out` allocation.
+            // SAFETY(invariant: `row < rows` and the asserted `out.len()` keep this in bounds)
             ptr: unsafe { base.add(row * row_len) },
             len: take * row_len,
         });
@@ -370,10 +370,10 @@ where
     }
     run_tasks(parts.len(), |i| {
         let p = &parts[i];
-        // SAFETY: the parts tile `out` without overlap (consecutive
-        // `row * row_len` offsets), `run_tasks` invokes each index
-        // exactly once, and `out`'s `&mut` borrow is held across the
-        // join — so this is the sole live reference to the region.
+        // SAFETY(disjoint: parts[i] — consecutive `row * row_len` chunks tile `out`)
+        // `run_tasks` invokes each index exactly once, and `out`'s `&mut`
+        // borrow is held across the join — so this is the sole live
+        // reference to the region.
         let chunk = unsafe { std::slice::from_raw_parts_mut(p.ptr, p.len) };
         f(p.start_row..p.end_row, chunk);
     });

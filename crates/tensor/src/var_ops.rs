@@ -261,9 +261,9 @@ impl Var {
                     for j in 0..d {
                         let xhat = (xrow[j] - mu) * rs;
                         let dxhat = dyrow[j] * gd[j];
-                        mean_dxhat += dxhat;
-                        mean_dxhat_xhat += dxhat * xhat;
-                        dgamma[j] += dyrow[j] * xhat;
+                        mean_dxhat += dxhat; // xlint: allow(accum-discipline): fused single-pass row stats, sequential j order
+                        mean_dxhat_xhat += dxhat * xhat; // xlint: allow(accum-discipline): same fused pass
+                        dgamma[j] += dyrow[j] * xhat; // xlint: allow(accum-discipline): this and dbeta below are per-column scatters, one term per row
                         dbeta[j] += dyrow[j];
                     }
                     mean_dxhat /= d as f32;

@@ -1,0 +1,574 @@
+//! Workspace module resolver and cross-crate call graph.
+//!
+//! Nodes are every function the [`crate::parser`] found in every file;
+//! edges come from call events resolved against a workspace-wide symbol
+//! index. Resolution is deliberately an *over*-approximation (a method
+//! call links to every workspace method of that name, modulo a
+//! std-collision blocklist): for a panic-reachability analysis, a false
+//! edge costs a justified suppression, while a missed edge silently
+//! hides a real crash path. The blocklists below are the tuning knob
+//! and are documented in DESIGN.md §7.
+
+use crate::parser::CallEvent;
+use crate::{Diagnostic, FileCtx};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Workspace rule id: panic sink reachable from a request-path root.
+pub const TRANSITIVE_PANIC: &str = "transitive-panic-in-request-path";
+
+/// One function in the workspace graph.
+pub struct Node {
+    /// Index into the `FileCtx` slice the graph was built from.
+    pub file: usize,
+    /// Index into that file's `ast.fns`.
+    pub fnx: usize,
+    /// Crate directory name (`tensor`, `serving`, …), if under `crates/`.
+    crate_dir: Option<String>,
+    /// Module path within the crate: file modules + in-file `mod`s.
+    modules: Vec<String>,
+}
+
+/// A resolved call edge.
+pub struct Edge {
+    pub to: usize,
+    /// Call-site line in the caller's file.
+    pub line: u32,
+    /// The callee name as written (used to match `infallible(…)`
+    /// suppressions on the call line).
+    pub callee: String,
+}
+
+pub struct CallGraph<'w> {
+    pub ctxs: &'w [FileCtx],
+    pub nodes: Vec<Node>,
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Method names that collide with std/core inherent methods: a `.len()`
+/// receiver is overwhelmingly a slice/Vec/str, not a workspace type, and
+/// linking it to every workspace `len` would drown the analysis in false
+/// reachability. Cost of the blocklist: a *workspace* method with one of
+/// these names is invisible to the traversal — keep panicky code out of
+/// methods named like std.
+const METHOD_BLOCKLIST: &[&str] = &[
+    "len", "is_empty", "push", "pop", "get", "get_mut", "insert", "remove", "clear", "clone",
+    "iter", "iter_mut", "next", "peek", "to_string", "to_vec", "to_owned", "into_iter", "as_str",
+    "as_slice", "as_ref", "as_mut", "as_bytes", "contains", "contains_key", "starts_with",
+    "ends_with", "split", "split_at", "split_at_mut", "splitn", "trim", "parse", "extend",
+    "drain", "retain", "sort", "sort_by", "sort_by_key", "binary_search", "take", "replace",
+    "swap", "min", "max", "abs", "sqrt", "exp", "ln", "powi", "powf", "floor", "ceil", "round",
+    "join", "send", "recv", "lock", "read", "write", "flush", "fill", "copy_from_slice",
+    "clone_from_slice", "chunks", "chunks_exact", "chunks_mut", "windows", "rev", "zip", "map",
+    "filter", "filter_map", "flat_map", "fold", "sum", "product", "count", "last", "first",
+    "enumerate", "skip", "step_by", "collect", "unwrap_or", "unwrap_or_else",
+    "unwrap_or_default", "map_err", "map_or", "and_then", "or_else", "ok", "err", "ok_or",
+    "ok_or_else", "is_some", "is_none", "is_ok", "is_err", "eq", "ne", "cmp", "partial_cmp",
+    "hash", "fmt", "finish", "position", "find", "any", "all", "chars", "bytes", "lines",
+    "push_str", "resize", "reserve", "truncate", "saturating_sub", "saturating_add",
+    "checked_sub", "checked_add", "checked_mul", "wrapping_add", "wrapping_mul", "min_by",
+    "max_by", "rem_euclid", "trailing_zeros", "leading_zeros", "to_le_bytes", "to_be_bytes",
+    "clamp", "signum", "recip", "mul_add", "copysign", "is_finite", "is_nan", "elapsed",
+    "as_nanos", "as_micros", "as_millis", "as_secs_f64", "then", "then_some", "cloned",
+    "copied", "unzip", "partition", "entry", "or_insert", "or_insert_with", "or_default",
+    "keys", "values", "values_mut", "front", "back", "push_back", "push_front", "pop_front",
+    // Atomic / arithmetic method names: `Counter::add`, `Gauge::add` and
+    // friends collide with every other `add`/`load`/`store` in the
+    // workspace and manufacture absurd edges (a metrics bump "calling"
+    // `TensorMap::load`).
+    "add", "sub", "load", "store", "fetch_add", "fetch_sub", "swap_bytes",
+];
+
+/// `obs` observation macros expand to a registry-constructor call; bridge
+/// them so registration panics in `obs::metrics` stay visible.
+const MACRO_FN_BRIDGE: &[(&str, &str)] = &[
+    ("static_histogram", "histogram"),
+    ("static_counter", "counter"),
+    ("static_gauge", "gauge"),
+];
+
+/// Panic-sink macros. `assert!`-family is deliberately excluded: asserts
+/// in deep kernels state invariants the test suite drives; the request
+/// path's own asserts are caught as `panic!` once they matter (and the
+/// serving token rule still sees serving-crate asserts' unwraps).
+const SINK_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Derive (crate dir, module path) from a workspace-relative file path.
+/// `crates/tensor/src/ops/simd.rs` → (`tensor`, `["ops","simd"]`).
+fn file_modules(path: &str) -> (Option<String>, Vec<String>) {
+    let segs: Vec<&str> = path.split('/').collect();
+    let crate_dir = (segs.len() > 2 && segs[0] == "crates").then(|| segs[1].to_string());
+    let mut mods = Vec::new();
+    if let Some(srcpos) = segs.iter().position(|&s| s == "src") {
+        for (k, s) in segs[srcpos + 1..].iter().enumerate() {
+            let is_last = srcpos + 1 + k == segs.len() - 1;
+            if is_last {
+                let stem = s.strip_suffix(".rs").unwrap_or(s);
+                if stem != "lib" && stem != "main" && stem != "mod" {
+                    mods.push(stem.to_string());
+                }
+            } else if *s != "bin" {
+                mods.push(s.to_string());
+            }
+        }
+    }
+    (crate_dir, mods)
+}
+
+/// Crate idents a `crates/<dir>` crate may be referred to by in code:
+/// the dir itself and the `ratatouille_<dir>` package prefix.
+fn crate_aliases(dir: &str) -> Vec<String> {
+    if dir.starts_with("ratatouille") {
+        vec![dir.to_string()]
+    } else {
+        vec![dir.to_string(), format!("ratatouille_{dir}")]
+    }
+}
+
+/// Build the cross-crate call graph over already-lexed/parsed files.
+pub fn build(ctxs: &[FileCtx]) -> CallGraph<'_> {
+    let mut nodes = Vec::new();
+    for (fi, ctx) in ctxs.iter().enumerate() {
+        let (crate_dir, fmods) = file_modules(&ctx.path);
+        for (fx, f) in ctx.ast.fns.iter().enumerate() {
+            let mut modules = fmods.clone();
+            modules.extend(f.module.iter().cloned());
+            nodes.push(Node { file: fi, fnx: fx, crate_dir: crate_dir.clone(), modules });
+        }
+    }
+
+    // name → node indices (all fns, methods and free alike).
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (ni, n) in nodes.iter().enumerate() {
+        let f = &ctxs[n.file].ast.fns[n.fnx];
+        by_name.entry(f.name.as_str()).or_default().push(ni);
+    }
+
+    // Per-file import map: last path segment → full `use` path.
+    let use_maps: Vec<BTreeMap<&str, &Vec<String>>> = ctxs
+        .iter()
+        .map(|ctx| {
+            let mut m = BTreeMap::new();
+            for u in &ctx.ast.uses {
+                if let Some(last) = u.last() {
+                    m.insert(last.as_str(), u);
+                }
+            }
+            m
+        })
+        .collect();
+
+    let g = Resolver { ctxs, nodes: &nodes, by_name, use_maps };
+    let mut edges: Vec<Vec<Edge>> = Vec::with_capacity(nodes.len());
+    for (ni, n) in nodes.iter().enumerate() {
+        let f = &ctxs[n.file].ast.fns[n.fnx];
+        let mut out: Vec<Edge> = Vec::new();
+        for c in &f.calls {
+            for t in g.resolve(c, ni) {
+                if t != ni {
+                    out.push(Edge { to: t, line: c.line, callee: c.name().to_string() });
+                }
+            }
+        }
+        for m in &f.macros {
+            if let Some((_, target)) =
+                MACRO_FN_BRIDGE.iter().find(|(mac, _)| *mac == m.name())
+            {
+                for &t in g.by_name.get(target).into_iter().flatten() {
+                    if g.nodes[t].crate_dir.as_deref() == Some("obs") {
+                        out.push(Edge { to: t, line: m.line, callee: m.name().to_string() });
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.to, a.line).cmp(&(b.to, b.line)));
+        out.dedup_by(|a, b| a.to == b.to && a.line == b.line);
+        edges.push(out);
+    }
+    CallGraph { ctxs, nodes, edges }
+}
+
+struct Resolver<'w> {
+    ctxs: &'w [FileCtx],
+    nodes: &'w [Node],
+    by_name: BTreeMap<&'w str, Vec<usize>>,
+    use_maps: Vec<BTreeMap<&'w str, &'w Vec<String>>>,
+}
+
+impl<'w> Resolver<'w> {
+    /// All nodes a call event may land on.
+    fn resolve(&self, c: &CallEvent, caller: usize) -> Vec<usize> {
+        let n = &self.nodes[caller];
+        let caller_fn = &self.ctxs[n.file].ast.fns[n.fnx];
+        if c.method {
+            let name = c.name();
+            if METHOD_BLOCKLIST.contains(&name) {
+                return Vec::new();
+            }
+            return self.methods_named(name);
+        }
+        let mut segs: Vec<String> = c.path.clone();
+        while segs.len() > 1
+            && matches!(segs[0].as_str(), "crate" | "super" | "self" | "std" | "core" | "alloc")
+        {
+            // `std::…` paths can never be workspace fns; `crate::`/`self::`
+            // prefixes are location noise the suffix match doesn't need.
+            if matches!(segs[0].as_str(), "std" | "core" | "alloc") {
+                return Vec::new();
+            }
+            segs.remove(0);
+        }
+        if segs[0] == "Self" {
+            let name = segs.last().cloned().unwrap_or_default();
+            if let Some(st) = caller_fn.self_type.as_deref() {
+                return self.methods_of(st, &name);
+            }
+            return Vec::new();
+        }
+        // Expand the head segment through this file's imports:
+        // `par::scatter_mut` + `use ratatouille_tensor::par;` → full path.
+        if let Some(full) = self.use_maps[n.file].get(segs[0].as_str()) {
+            let mut expanded: Vec<String> = (*full).clone();
+            expanded.extend(segs.drain(1..));
+            segs = expanded;
+        }
+        let name = segs.last().cloned().unwrap_or_default();
+        if segs.len() == 1 {
+            // Bare call. Uppercase names are tuple-struct/variant
+            // constructors (`Some`, `Ok`, workspace newtypes) — not fns
+            // we can panic inside.
+            if name.chars().next().map_or(true, |ch| ch.is_uppercase()) || name == "drop" {
+                return Vec::new();
+            }
+            // Same-file first, then same-crate; never cross-crate for an
+            // unqualified name (it would have needed a `use` we'd have
+            // seen, or a path).
+            let cands = self.by_name.get(name.as_str()).cloned().unwrap_or_default();
+            let free: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&t| self.fn_of(t).self_type.is_none())
+                .collect();
+            let same_file: Vec<usize> =
+                free.iter().copied().filter(|&t| self.nodes[t].file == n.file).collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            return free
+                .into_iter()
+                .filter(|&t| {
+                    self.nodes[t].crate_dir.is_some()
+                        && self.nodes[t].crate_dir == n.crate_dir
+                })
+                .collect();
+        }
+        // Qualified path: match candidates whose logical path ends with
+        // the written segments (crate idents normalised via aliases).
+        let cands = self.by_name.get(name.as_str()).cloned().unwrap_or_default();
+        cands
+            .into_iter()
+            .filter(|&t| self.suffix_matches(t, &segs))
+            .collect()
+    }
+
+    fn fn_of(&self, ni: usize) -> &'w crate::parser::FnDef {
+        let n = &self.nodes[ni];
+        &self.ctxs[n.file].ast.fns[n.fnx]
+    }
+
+    fn methods_named(&self, name: &str) -> Vec<usize> {
+        self.by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&t| self.fn_of(t).self_type.is_some())
+            .collect()
+    }
+
+    fn methods_of(&self, self_type: &str, name: &str) -> Vec<usize> {
+        self.by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&t| self.fn_of(t).self_type.as_deref() == Some(self_type))
+            .collect()
+    }
+
+    /// Does candidate `t`'s logical path (`[crate] modules [SelfType] name`)
+    /// end with the written path `segs`?
+    fn suffix_matches(&self, t: usize, segs: &[String]) -> bool {
+        let n = &self.nodes[t];
+        let f = self.fn_of(t);
+        let mut tail: Vec<String> = n.modules.clone();
+        if let Some(st) = &f.self_type {
+            tail.push(st.clone());
+        }
+        tail.push(f.name.clone());
+        let aliases: Vec<String> = match &n.crate_dir {
+            Some(d) => crate_aliases(d),
+            None => Vec::new(),
+        };
+        // Without the crate ident…
+        if ends_with(&tail, segs) {
+            return true;
+        }
+        // …and with each alias prepended.
+        for a in aliases {
+            let mut full = Vec::with_capacity(tail.len() + 1);
+            full.push(a);
+            full.extend(tail.iter().cloned());
+            if ends_with(&full, segs) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn ends_with(hay: &[String], needle: &[String]) -> bool {
+    needle.len() <= hay.len() && hay[hay.len() - needle.len()..] == *needle
+}
+
+/// Request-path roots: the serving HTTP handlers and the continuous
+/// batching step the runner drives per token.
+fn is_root(ctx: &FileCtx, f: &crate::parser::FnDef) -> bool {
+    if ctx.is_test_line(f.line) {
+        return false;
+    }
+    (ctx.crate_name.as_deref() == Some("serving") && f.name.starts_with("handle"))
+        || (f.self_type.as_deref() == Some("BatchGenerator") && f.name == "step")
+}
+
+/// `transitive-panic-in-request-path`: BFS from the request-path roots;
+/// every `panic!`-family macro, `.unwrap()`/`.expect()` (everywhere) and
+/// `[]`-index (serving crate) in a reachable fn is a sink. Edges carrying
+/// an `// xlint: infallible(callee): reason` comment on the call line
+/// (or the line above) are cut; the suppression is marked used so stale
+/// ones fail the build.
+pub fn check_transitive_panics(g: &CallGraph<'_>, out: &mut Vec<Diagnostic>) {
+    let mut parent: Vec<Option<usize>> = vec![None; g.nodes.len()];
+    let mut visited: Vec<bool> = vec![false; g.nodes.len()];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for (ni, n) in g.nodes.iter().enumerate() {
+        let ctx = &g.ctxs[n.file];
+        if is_root(ctx, &ctx.ast.fns[n.fnx]) {
+            visited[ni] = true;
+            queue.push_back(ni);
+        }
+    }
+    let mut order: Vec<usize> = Vec::new();
+    while let Some(ni) = queue.pop_front() {
+        order.push(ni);
+        let caller_ctx = &g.ctxs[g.nodes[ni].file];
+        for e in &g.edges[ni] {
+            // An infallible() suppression on the call line cuts the edge
+            // (and is marked used even if the target is reachable some
+            // other way — the *edge* is what the comment vouches for).
+            if caller_ctx.edge_suppressed(e.line, &e.callee) {
+                continue;
+            }
+            let tn = &g.nodes[e.to];
+            let tf = &g.ctxs[tn.file].ast.fns[tn.fnx];
+            if g.ctxs[tn.file].is_test_line(tf.line) {
+                continue;
+            }
+            if !visited[e.to] {
+                visited[e.to] = true;
+                parent[e.to] = Some(ni);
+                queue.push_back(e.to);
+            }
+        }
+    }
+
+    let path_to = |ni: usize| -> String {
+        let mut names: Vec<String> = Vec::new();
+        let mut cur = Some(ni);
+        while let Some(k) = cur {
+            let n = &g.nodes[k];
+            names.push(g.ctxs[n.file].ast.fns[n.fnx].display());
+            cur = parent[k];
+        }
+        names.reverse();
+        names.join(" -> ")
+    };
+
+    let mut seen: BTreeSet<(usize, u32)> = BTreeSet::new();
+    for &ni in &order {
+        let n = &g.nodes[ni];
+        let ctx = &g.ctxs[n.file];
+        let f = &ctx.ast.fns[n.fnx];
+        let mut sink = |line: u32, what: String, out: &mut Vec<Diagnostic>| {
+            if ctx.is_test_line(line) || !seen.insert((n.file, line)) {
+                return;
+            }
+            out.push(Diagnostic {
+                path: ctx.path.clone(),
+                line,
+                rule: TRANSITIVE_PANIC,
+                msg: format!(
+                    "{what} is reachable from the request path ({}); return a `Result`, prove \
+                     the call infallible with `// xlint: infallible(callee): reason` at the \
+                     call site, or justify with `// xlint: allow({TRANSITIVE_PANIC}): reason`",
+                    path_to(ni)
+                ),
+            });
+        };
+        for c in &f.calls {
+            if c.method && matches!(c.name(), "unwrap" | "expect") {
+                sink(c.line, format!("`.{}()` in `{}`", c.name(), f.display()), out);
+            }
+        }
+        for m in &f.macros {
+            if SINK_MACROS.contains(&m.name()) {
+                sink(m.line, format!("`{}!` in `{}`", m.name(), f.display()), out);
+            }
+        }
+        // Indexing is a sink only in the serving crate: a kernel's hot
+        // loops index by construction and are covered by the bounds
+        // proofs in their own tests; a handler indexing request data is
+        // a remote crash.
+        if ctx.crate_name.as_deref() == Some("serving") {
+            for &l in &f.index_lines {
+                sink(l, format!("`[]`-indexing in `{}`", f.display()), out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctxs(files: &[(&str, &str)]) -> Vec<FileCtx> {
+        files.iter().map(|(p, s)| FileCtx::new(p, s)).collect()
+    }
+
+    fn diag_lines(cs: &[FileCtx]) -> Vec<(String, u32)> {
+        let g = build(cs);
+        let mut out = Vec::new();
+        check_transitive_panics(&g, &mut out);
+        out.into_iter().map(|d| (d.path, d.line)).collect()
+    }
+
+    #[test]
+    fn cross_crate_unwrap_reached_from_handler() {
+        let cs = ctxs(&[
+            (
+                "crates/serving/src/api.rs",
+                "use ratatouille_models::sample::decode_one;\n\
+                 fn handle_generate() { decode_one(3); }\n",
+            ),
+            (
+                "crates/models/src/sample.rs",
+                "pub fn decode_one(x: u32) -> u32 { helper(x) }\n\
+                 fn helper(x: u32) -> u32 { Some(x).unwrap() }\n",
+            ),
+        ]);
+        assert_eq!(diag_lines(&cs), vec![("crates/models/src/sample.rs".to_string(), 2)]);
+    }
+
+    #[test]
+    fn infallible_edge_suppression_cuts_the_path() {
+        let cs = ctxs(&[
+            (
+                "crates/serving/src/api.rs",
+                "use ratatouille_models::sample::decode_one;\n\
+                 fn handle_generate() {\n\
+                     // xlint: infallible(decode_one): input validated above\n\
+                     decode_one(3);\n\
+                 }\n",
+            ),
+            (
+                "crates/models/src/sample.rs",
+                "pub fn decode_one(x: u32) -> u32 { Some(x).unwrap() }\n",
+            ),
+        ]);
+        assert!(diag_lines(&cs).is_empty());
+    }
+
+    #[test]
+    fn method_call_reaches_impl_across_crates() {
+        let cs = ctxs(&[
+            (
+                "crates/models/src/batch.rs",
+                "impl BatchGenerator { fn step(&mut self, m: &M) { m.batch_step(); } }\n",
+            ),
+            (
+                "crates/models/src/gpt2.rs",
+                "impl Gpt2Lm {\n    fn batch_step(&self) { panic!(\"kv exhausted\"); }\n}\n",
+            ),
+        ]);
+        assert_eq!(diag_lines(&cs), vec![("crates/models/src/gpt2.rs".to_string(), 2)]);
+    }
+
+    #[test]
+    fn unreachable_panic_not_flagged_and_tests_exempt() {
+        let cs = ctxs(&[
+            ("crates/models/src/a.rs", "fn orphan() { panic!(\"never served\"); }\n"),
+            (
+                "crates/serving/src/api.rs",
+                "fn handle_x() { ok(); }\nfn ok() {}\n\
+                 #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::handle_x(); panic!(\"x\"); }\n}\n",
+            ),
+        ]);
+        assert!(diag_lines(&cs).is_empty());
+    }
+
+    #[test]
+    fn indexing_is_a_sink_in_serving_only() {
+        let cs = ctxs(&[
+            (
+                "crates/serving/src/api.rs",
+                "fn handle_x(v: &[u8]) -> u8 { kernel(v); v[0] }\n",
+            ),
+            ("crates/serving/src/util.rs", "pub fn kernel(v: &[u8]) -> u8 { v[1] }\n"),
+        ]);
+        let lines = diag_lines(&cs);
+        assert!(lines.contains(&("crates/serving/src/api.rs".to_string(), 1)));
+        assert!(lines.contains(&("crates/serving/src/util.rs".to_string(), 1)));
+        let cs2 = ctxs(&[
+            ("crates/serving/src/api.rs", "fn handle_x() { ratatouille_models::sample::pick(); }\n"),
+            ("crates/models/src/sample.rs", "pub fn pick(v: &[u8]) -> u8 { v[1] }\n"),
+        ]);
+        assert!(diag_lines(&cs2).is_empty(), "models indexing is not a sink");
+    }
+
+    #[test]
+    fn obs_macro_bridge_reaches_registry_constructor() {
+        let cs = ctxs(&[
+            (
+                "crates/serving/src/api.rs",
+                "fn handle_x() { let h = obs::static_histogram!(\"generate_latency_ns\"); h.observe(1); }\n",
+            ),
+            (
+                "crates/obs/src/metrics.rs",
+                "pub fn histogram(name: &str) -> u32 {\n    panic!(\"metric already registered\");\n}\n",
+            ),
+        ]);
+        assert_eq!(diag_lines(&cs), vec![("crates/obs/src/metrics.rs".to_string(), 2)]);
+    }
+
+    #[test]
+    fn batch_generator_step_is_a_root() {
+        let cs = ctxs(&[(
+            "crates/models/src/batch.rs",
+            "impl BatchGenerator {\n    fn step(&mut self) { self.grow(); }\n    fn grow(&mut self) { self.cap.expect(\"cap set\"); }\n}\n",
+        )]);
+        assert_eq!(diag_lines(&cs), vec![("crates/models/src/batch.rs".to_string(), 3)]);
+    }
+
+    #[test]
+    fn file_modules_mapping() {
+        assert_eq!(
+            file_modules("crates/tensor/src/ops/simd.rs"),
+            (Some("tensor".to_string()), vec!["ops".to_string(), "simd".to_string()])
+        );
+        assert_eq!(file_modules("crates/obs/src/lib.rs"), (Some("obs".to_string()), vec![]));
+        assert_eq!(
+            file_modules("crates/bench/src/bin/metrics_smoke.rs"),
+            (Some("bench".to_string()), vec!["metrics_smoke".to_string()])
+        );
+        assert_eq!(file_modules("tests/xlint_gate.rs"), (None, vec![]));
+    }
+}

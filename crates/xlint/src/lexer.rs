@@ -371,10 +371,25 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = &self.src[start..self.i];
-        if text.ends_with("f32") || text.ends_with("f64") || text.contains(['e', 'E']) && !text.starts_with("0x") {
+        if text.ends_with("f32") || text.ends_with("f64") {
             float = true;
+        } else if !float {
+            // Scientific notation: a digit, then `e`/`E`, optional sign,
+            // digits to the end. (A plain `contains('e')` would tag every
+            // `0usize`/`3else` — "usize" has an `e` in it.)
+            let b = text.as_bytes();
+            if let Some(k) = b.iter().position(|&c| c == b'e' || c == b'E') {
+                let mantissa_ok = k > 0 && b[k - 1].is_ascii_digit();
+                let exp = match b.get(k + 1) {
+                    Some(b'+') | Some(b'-') => &b[k + 2..],
+                    _ => &b[k + 1..],
+                };
+                if mantissa_ok && !exp.is_empty() && exp.iter().all(|c| c.is_ascii_digit()) {
+                    float = true;
+                }
+            }
         }
-        // hex literals can contain `e` — never floats
+        // hex/binary/octal literals can contain `e` — never floats
         if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
             float = false;
         }
@@ -456,7 +471,7 @@ mod tests {
 
     #[test]
     fn float_detection() {
-        let toks = lex("let a = 1.5; let b = 2; let c = 3.0f32; let d = 1e-3; let r = 0..10;");
+        let toks = lex("let a = 1.5; let b = 2; let c = 3.0f32; let d = 1e-3; let r = 0..10;\nlet n = 0usize; let m = 4e2; let h = 0xDEAD;");
         let floats: Vec<bool> = toks
             .iter()
             .filter_map(|t| match t.kind {
@@ -464,7 +479,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(floats, vec![true, false, true, true, false, false]);
+        assert_eq!(floats, vec![true, false, true, true, false, false, false, true, false]);
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //! non-zero on any finding. `scripts/ci.sh` runs this before the build so
 //! contract violations fail fast; `tests/xlint_gate.rs` enforces the same
 //! thing under plain `cargo test`.
+//!
+//! `--emit=json` prints the diagnostics as a JSON array (one object per
+//! finding: `path`, `line`, `rule`, `msg`) for CI annotation; the exit
+//! code is unchanged.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -10,14 +14,19 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--rules") {
         for r in xlint::rules::catalogue() {
-            println!("{:<28} {}", r.id, r.summary);
+            println!("{:<32} {}", r.id, r.summary);
+        }
+        for r in xlint::rules::workspace_rules() {
+            println!("{:<32} [workspace] {}", r.id, r.summary);
         }
         return ExitCode::SUCCESS;
     }
+    let json = args.iter().any(|a| a == "--emit=json");
     // Optional explicit root; otherwise walk up from the current directory
     // (cargo runs binaries from the workspace root).
     let start = args
-        .first()
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .map(PathBuf::from)
         .or_else(|| std::env::current_dir().ok())
         .unwrap_or_else(|| PathBuf::from("."));
@@ -26,11 +35,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let diags = xlint::run_workspace(&root);
-    for d in &diags {
-        println!("{d}");
+    if json {
+        println!("{}", xlint::to_json_report(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
     }
     if diags.is_empty() {
-        println!("xlint: workspace clean ({} rules)", xlint::rules::catalogue().len());
+        if !json {
+            let n = xlint::rules::catalogue().len() + xlint::rules::workspace_rules().len();
+            println!("xlint: workspace clean ({n} rules)");
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!("xlint: {} violation(s)", diags.len());

@@ -1,13 +1,16 @@
 //! The rule catalogue.
 //!
-//! Each rule is a [`Rule`] value in [`catalogue`]: an id, a scope
-//! predicate, a token-level check, and whether test code is exempt.
-//! Adding a rule is ~20 lines: write a `check_*` function against
-//! [`FileCtx`], pick a scope helper, and append an entry to `CATALOGUE`
-//! (DESIGN.md §7 walks through an example).
+//! Each per-file rule is a [`Rule`] value in [`catalogue`]: an id, a
+//! scope predicate, a check against the file's tokens/AST, and whether
+//! test code is exempt. Adding a rule is ~20 lines: write a `check_*`
+//! function against [`FileCtx`], pick a scope helper, and append an
+//! entry to `CATALOGUE` (DESIGN.md §7 walks through an example).
+//! The interprocedural rule lives in [`crate::callgraph`] — it needs the
+//! whole workspace, not one file — but is listed in
+//! [`workspace_rules`] so `--rules` and the suppression checker see it.
 
 use crate::lexer::{Tok, TokKind};
-use crate::{Diagnostic, FileCtx};
+use crate::{callgraph, Diagnostic, FileCtx};
 
 /// Rule id shared with the engine, which lints suppression comments.
 pub const ALLOW_NEEDS_JUSTIFICATION: &str = "allow-needs-justification";
@@ -24,6 +27,13 @@ pub struct Rule {
     pub applies: fn(&FileCtx) -> bool,
     /// Emit diagnostics for this file.
     pub check: fn(&FileCtx, &mut Vec<Diagnostic>),
+}
+
+/// A workspace-scoped rule (documented here, executed by the engine over
+/// the call graph).
+pub struct WorkspaceRule {
+    pub id: &'static str,
+    pub summary: &'static str,
 }
 
 /// Crates whose outputs feed generations or metrics: nondeterminism and
@@ -47,6 +57,11 @@ const OBS_TIMED: &[&str] = &[
 
 /// The blessed kernel directory: float reductions are *defined* here.
 const BLESSED_KERNELS: &str = "crates/tensor/src/ops/";
+
+/// Raw-pointer scatter entry points: calling any of these splits one
+/// allocation into concurrently-written parts, so the call site must
+/// state the non-aliasing argument in a machine-checkable header.
+const SCATTER_FNS: &[&str] = &["scatter_mut", "parallel_rows_mut", "from_raw_parts_mut"];
 
 fn everywhere(_ctx: &FileCtx) -> bool {
     true
@@ -74,19 +89,46 @@ fn obs_timed(ctx: &FileCtx) -> bool {
         .unwrap_or(false)
 }
 
-/// The full catalogue, in diagnostic-id order.
+/// The per-file catalogue, in diagnostic-id order.
 pub fn catalogue() -> &'static [Rule] {
     &CATALOGUE
 }
 
-static CATALOGUE: [Rule; 6] = [
+/// Workspace-scoped rules run by the engine over the call graph.
+pub fn workspace_rules() -> &'static [WorkspaceRule] {
+    &[WorkspaceRule {
+        id: callgraph::TRANSITIVE_PANIC,
+        summary: "panic!/unwrap()/expect() (all crates) and []-indexing (serving) reachable \
+                  from the serving handlers or BatchGenerator::step on the cross-crate call \
+                  graph — cut proven-infallible edges with `xlint: infallible(callee): reason`",
+    }]
+}
+
+/// Every rule id a suppression comment may legally name.
+pub fn all_rule_ids() -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = catalogue().iter().map(|r| r.id).collect();
+    ids.extend(workspace_rules().iter().map(|r| r.id));
+    ids
+}
+
+static CATALOGUE: [Rule; 8] = [
     Rule {
         id: "unsafe-needs-safety-comment",
-        summary: "every `unsafe` block/fn/impl must be immediately preceded by a `// SAFETY:` \
-                  comment stating the invariant",
+        summary: "every `unsafe` block/fn/impl must be immediately preceded by a structured \
+                  `// SAFETY(disjoint: …)` or `// SAFETY(invariant: …)` header stating the \
+                  invariant",
         skip_tests: false,
         applies: everywhere,
         check: check_unsafe_safety_comment,
+    },
+    Rule {
+        id: "unsafe-disjointness-contract",
+        summary: "raw-pointer scatter sites (scatter_mut / parallel_rows_mut / \
+                  from_raw_parts_mut callers) must carry `// SAFETY(disjoint: <ranges>)` whose \
+                  named bindings exist in scope",
+        skip_tests: true,
+        applies: everywhere,
+        check: check_unsafe_disjointness,
     },
     Rule {
         id: "forbidden-nondeterminism",
@@ -121,6 +163,14 @@ static CATALOGUE: [Rule; 6] = [
         check: check_float_reduction,
     },
     Rule {
+        id: "accum-discipline",
+        summary: "f32/F16 `+=` loops outside util::accum and the blessed kernels drift with \
+                  iteration order — route the reduction through the order-pinned helpers",
+        skip_tests: true,
+        applies: result_affecting_outside_kernels,
+        check: check_accum_discipline,
+    },
+    Rule {
         id: ALLOW_NEEDS_JUSTIFICATION,
         summary: "#[allow(...)] attributes and `xlint: allow(...)` suppressions must carry a \
                   justification",
@@ -145,50 +195,222 @@ fn diag(ctx: &FileCtx, line: u32, rule: &'static str, msg: String) -> Diagnostic
 }
 
 // ---------------------------------------------------------------------------
-// unsafe-needs-safety-comment
+// SAFETY headers (shared by unsafe-needs-safety-comment and
+// unsafe-disjointness-contract)
 // ---------------------------------------------------------------------------
 
-/// How far above an `unsafe` token the `// SAFETY:` comment may sit
-/// (attributes, visibility and multi-line comment bodies intervene).
+/// How far above an `unsafe` token / scatter call the SAFETY header may
+/// sit (attributes, visibility and multi-line comment bodies intervene).
 const SAFETY_SCAN_LINES: u32 = 8;
 
-fn has_safety_comment(ctx: &FileCtx, line: u32) -> bool {
-    let is_safety = |c: &str| c.trim_start().starts_with("SAFETY:");
-    if ctx.comments_on(line).any(|c| is_safety(c)) {
-        return true;
+/// A SAFETY comment found near a site.
+enum Safety {
+    /// Old prose form: `// SAFETY: …` — predates the structured headers.
+    Legacy,
+    /// `// SAFETY(kind: args)`; `closed` is false when the `)` is missing
+    /// from the header line.
+    Structured { kind: String, args: String, closed: bool },
+}
+
+fn parse_safety(text: &str) -> Option<Safety> {
+    let t = text.trim_start();
+    let rest = t.strip_prefix("SAFETY")?;
+    if rest.starts_with(':') {
+        return Some(Safety::Legacy);
+    }
+    let body = rest.strip_prefix('(')?;
+    let (body, closed) = match body.rfind(')') {
+        Some(p) => (&body[..p], true),
+        None => (body, false),
+    };
+    let (kind, args) = match body.split_once(':') {
+        Some((k, a)) => (k.trim().to_string(), a.trim().to_string()),
+        None => (body.trim().to_string(), String::new()),
+    };
+    Some(Safety::Structured { kind, args, closed })
+}
+
+/// Find the SAFETY header nearest above `line` (or on it), within the
+/// scan window, stopping at completed statements.
+fn safety_near(ctx: &FileCtx, line: u32) -> Option<Safety> {
+    if let Some(s) = ctx.comments_on(line).find_map(parse_safety) {
+        return Some(s);
     }
     let mut l = line.saturating_sub(1);
     for _ in 0..SAFETY_SCAN_LINES {
         if l == 0 {
             break;
         }
-        if ctx.comments_on(l).any(|c| is_safety(c)) {
-            return true;
+        if let Some(s) = ctx.comments_on(l).find_map(parse_safety) {
+            return Some(s);
         }
-        let li = l as usize;
-        if li < ctx.has_code.len() && ctx.has_code[li] {
+        if ctx.line_has_code(l) {
             // A completed statement/item above ends the search; a
             // continuation head (e.g. `let x =`) lets it keep climbing.
-            if matches!(ctx.last_code_punct[li], Some(';') | Some('{') | Some('}')) {
+            if matches!(ctx.line_end_punct(l), Some(';') | Some('{') | Some('}')) {
                 break;
             }
         }
         l -= 1;
     }
-    false
+    None
 }
+
+// ---------------------------------------------------------------------------
+// unsafe-needs-safety-comment
+// ---------------------------------------------------------------------------
 
 fn check_unsafe_safety_comment(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     for t in code(ctx) {
-        if t.ident() == Some("unsafe") && !has_safety_comment(ctx, t.line) {
-            out.push(diag(
-                ctx,
-                t.line,
-                "unsafe-needs-safety-comment",
-                "`unsafe` without an immediately preceding `// SAFETY:` comment stating the \
-                 invariant (pointer validity/lifetime, cpuid gate, latch ordering, …)"
-                    .to_string(),
-            ));
+        if t.ident() != Some("unsafe") {
+            continue;
+        }
+        let msg = match safety_near(ctx, t.line) {
+            None => {
+                "`unsafe` without an immediately preceding `// SAFETY(…)` header stating the \
+                 invariant: `SAFETY(disjoint: <ranges>)` for non-aliasing writes, \
+                 `SAFETY(invariant: …)` for everything else (pointer validity/lifetime, cpuid \
+                 gate, latch ordering, …)"
+            }
+            Some(Safety::Legacy) => {
+                "legacy prose `// SAFETY:` comment; restate it as a structured \
+                 `SAFETY(disjoint: <ranges>)` or `SAFETY(invariant: …)` header so the contract \
+                 is machine-checkable"
+            }
+            Some(Safety::Structured { kind, args, closed }) => {
+                if !closed || args.is_empty() || !matches!(kind.as_str(), "disjoint" | "invariant")
+                {
+                    "malformed SAFETY header; expected `SAFETY(disjoint: <ranges>)` or \
+                     `SAFETY(invariant: <argument>)` with the `)` on the same comment line"
+                } else {
+                    continue;
+                }
+            }
+        };
+        out.push(diag(ctx, t.line, "unsafe-needs-safety-comment", msg.to_string()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-disjointness-contract
+// ---------------------------------------------------------------------------
+
+/// Split `args` on top-level commas (brackets/parens nest).
+fn split_ranges(args: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in args.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(args[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(args[start..].trim());
+    parts
+}
+
+/// Leading identifier of a range expression (`parts[task]` → `parts`,
+/// `&mut out[a..b]` → `out`).
+fn leading_ident(range: &str) -> Option<&str> {
+    let rest = range
+        .trim_start_matches(|c: char| c == '&' || c == '*' || c == '(' || c.is_whitespace());
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0 && !rest.as_bytes()[0].is_ascii_digit()).then(|| &rest[..end])
+}
+
+fn check_unsafe_disjointness(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "unsafe-disjointness-contract";
+    for f in &ctx.ast.fns {
+        for c in &f.calls {
+            if !SCATTER_FNS.contains(&c.name()) {
+                continue;
+            }
+            match safety_near(ctx, c.line) {
+                None => out.push(diag(
+                    ctx,
+                    c.line,
+                    RULE,
+                    format!(
+                        "`{}` scatter site without a `// SAFETY(disjoint: <ranges>)` header \
+                         naming the non-overlapping writes",
+                        c.name()
+                    ),
+                )),
+                Some(Safety::Legacy) => out.push(diag(
+                    ctx,
+                    c.line,
+                    RULE,
+                    format!(
+                        "`{}` scatter site has a prose `SAFETY:` comment; restate the \
+                         non-aliasing argument as `SAFETY(disjoint: <ranges>)` so the named \
+                         bindings are checked against scope",
+                        c.name()
+                    ),
+                )),
+                Some(Safety::Structured { kind, args, closed }) => {
+                    if kind != "disjoint" {
+                        out.push(diag(
+                            ctx,
+                            c.line,
+                            RULE,
+                            format!(
+                                "`{}` scatter site needs a `SAFETY(disjoint: …)` header, not \
+                                 `SAFETY({kind}: …)` — name the ranges that never overlap",
+                                c.name()
+                            ),
+                        ));
+                        continue;
+                    }
+                    if !closed || args.is_empty() {
+                        out.push(diag(
+                            ctx,
+                            c.line,
+                            RULE,
+                            "malformed `SAFETY(disjoint: …)` header; expected a comma-separated \
+                             range list with the `)` on the same comment line"
+                                .to_string(),
+                        ));
+                        continue;
+                    }
+                    for range in split_ranges(&args) {
+                        match leading_ident(range) {
+                            None => out.push(diag(
+                                ctx,
+                                c.line,
+                                RULE,
+                                format!(
+                                    "disjointness range `{range}` does not start with a \
+                                     binding name; write `<binding>[<range>]` per written part"
+                                ),
+                            )),
+                            Some(id) => {
+                                if !f.binds(id) {
+                                    out.push(diag(
+                                        ctx,
+                                        c.line,
+                                        RULE,
+                                        format!(
+                                            "disjointness range `{range}` names `{id}`, which \
+                                             is not bound in `{}` — the header must reference \
+                                             live bindings so it rots loudly",
+                                            f.display()
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -269,39 +491,35 @@ fn check_obs_only_timing(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
-// no-panic-in-request-path
+// no-panic-in-request-path (AST-mounted: only real call/macro events
+// fire, so idents inside strings/macros-by-name no longer false-positive)
 // ---------------------------------------------------------------------------
 
 fn check_no_panic(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
-    let toks = code(ctx);
-    for i in 0..toks.len() {
-        let line = toks[i].line;
-        if toks[i].is_punct('.')
-            && matches!(
-                toks.get(i + 1).and_then(|t| t.ident()),
-                Some("unwrap") | Some("expect")
-            )
-            && toks.get(i + 2).map_or(false, |t| t.is_punct('('))
-        {
-            let m = toks[i + 1].ident().unwrap_or("");
-            out.push(diag(
-                ctx,
-                line,
-                "no-panic-in-request-path",
-                format!("`.{m}()` can take down a serving worker; map the failure to an error response (4xx/5xx) or propagate a `Result`"),
-            ));
-        } else if matches!(
-            toks[i].ident(),
-            Some("panic") | Some("unreachable") | Some("todo") | Some("unimplemented")
-        ) && toks.get(i + 1).map_or(false, |t| t.is_punct('!'))
-        {
-            let m = toks[i].ident().unwrap_or("");
-            out.push(diag(
-                ctx,
-                line,
-                "no-panic-in-request-path",
-                format!("`{m}!` in the serving path; return an error response instead"),
-            ));
+    for f in &ctx.ast.fns {
+        for c in &f.calls {
+            if c.method && matches!(c.name(), "unwrap" | "expect") {
+                out.push(diag(
+                    ctx,
+                    c.line,
+                    "no-panic-in-request-path",
+                    format!(
+                        "`.{}()` can take down a serving worker; map the failure to an error \
+                         response (4xx/5xx) or propagate a `Result`",
+                        c.name()
+                    ),
+                ));
+            }
+        }
+        for m in &f.macros {
+            if matches!(m.name(), "panic" | "unreachable" | "todo" | "unimplemented") {
+                out.push(diag(
+                    ctx,
+                    m.line,
+                    "no-panic-in-request-path",
+                    format!("`{}!` in the serving path; return an error response instead", m.name()),
+                ));
+            }
         }
     }
 }
@@ -377,6 +595,40 @@ fn statement_mentions_f32(toks: &[&Tok], i: usize) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// accum-discipline
+// ---------------------------------------------------------------------------
+
+fn check_accum_discipline(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for f in &ctx.ast.fns {
+        for a in &f.adds {
+            // Float evidence: the statement itself mentions f32/F16 or a
+            // float literal, or the accumulator binding was declared with
+            // one — that is how reductions hide behind helper fns (the
+            // `+=` line looks typeless but the `let` above does not).
+            let lhs_float = a
+                .lhs
+                .as_deref()
+                .map(|n| f.bindings.iter().any(|b| b.name == n && b.float_hint))
+                .unwrap_or(false);
+            if !(a.float_stmt || lhs_float) {
+                continue;
+            }
+            out.push(diag(
+                ctx,
+                a.line,
+                "accum-discipline",
+                format!(
+                    "f32/F16 `+=` accumulation in a loop in `{}`; reduction order drifts with \
+                     iteration strategy — use `ratatouille_util::accum` (order-pinned) or move \
+                     the loop into the blessed kernels (`crates/tensor/src/ops/`)",
+                    f.display()
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // allow-needs-justification (attribute half; suppression comments are
 // linted by the engine, which owns the used/unused bookkeeping)
 // ---------------------------------------------------------------------------
@@ -426,24 +678,76 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_with_safety_clean() {
-        let src = "fn f(p: *const f32) -> f32 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+    fn unsafe_with_structured_safety_clean() {
+        let src = "fn f(p: *const f32) -> f32 {\n    // SAFETY(invariant: caller guarantees p is valid)\n    unsafe { *p }\n}\n";
         assert!(rules_hit("crates/tensor/src/x.rs", src).is_empty());
     }
 
     #[test]
+    fn legacy_prose_safety_flagged_as_unstructured() {
+        let src = "fn f(p: *const f32) -> f32 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        let hits = rules_hit("crates/tensor/src/x.rs", src);
+        assert_eq!(hits, vec![("unsafe-needs-safety-comment", 3)]);
+    }
+
+    #[test]
+    fn malformed_safety_header_flagged() {
+        let src = "fn f(p: *const f32) -> f32 {\n    // SAFETY(disjoint: )\n    unsafe { *p }\n}\n";
+        let hits = rules_hit("crates/tensor/src/x.rs", src);
+        assert_eq!(hits, vec![("unsafe-needs-safety-comment", 3)]);
+        let bad_kind = "fn f(p: *const f32) -> f32 {\n    // SAFETY(trust-me: it works)\n    unsafe { *p }\n}\n";
+        assert_eq!(
+            rules_hit("crates/tensor/src/x.rs", bad_kind),
+            vec![("unsafe-needs-safety-comment", 3)]
+        );
+    }
+
+    #[test]
     fn safety_climbs_past_attributes_and_continuations() {
-        let src = "// SAFETY: feature gate checked by caller\n#[target_feature(enable = \"avx2\")]\nunsafe fn g() {}\n\nfn h() {\n    // SAFETY: latch outlives the borrow\n    let x: usize =\n        unsafe { core::mem::transmute(1usize) };\n    let _ = x;\n}\n";
+        let src = "// SAFETY(invariant: feature gate checked by caller)\n#[target_feature(enable = \"avx2\")]\nunsafe fn g() {}\n\nfn h() {\n    // SAFETY(invariant: latch outlives the borrow)\n    let x: usize =\n        unsafe { core::mem::transmute(1usize) };\n    let _ = x;\n}\n";
         assert!(rules_hit("crates/tensor/src/x.rs", src).is_empty(), "{:?}", rules_hit("crates/tensor/src/x.rs", src));
     }
 
     #[test]
     fn consecutive_unsafe_impls_need_their_own_comments() {
-        let src = "struct P;\n// SAFETY: single owner\nunsafe impl Send for P {}\nunsafe impl Sync for P {}\n";
+        let src = "struct P;\n// SAFETY(invariant: single owner)\nunsafe impl Send for P {}\nunsafe impl Sync for P {}\n";
         assert_eq!(
             rules_hit("crates/tensor/src/x.rs", src),
             vec![("unsafe-needs-safety-comment", 4)]
         );
+    }
+
+    #[test]
+    fn scatter_site_without_disjoint_header_flagged() {
+        let src = "fn f(parts: &mut [u8]) {\n    scatter_mut(parts, |i, p| { let _ = (i, p); });\n}\n";
+        let hits = rules_hit("crates/models/src/x.rs", src);
+        assert_eq!(hits, vec![("unsafe-disjointness-contract", 2)]);
+    }
+
+    #[test]
+    fn scatter_site_with_disjoint_header_clean() {
+        let src = "fn f(parts: &mut [u8]) {\n    // SAFETY(disjoint: parts[i] — one element per task index)\n    scatter_mut(parts, |i, p| { let _ = (i, p); });\n}\n";
+        assert!(rules_hit("crates/models/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn disjoint_header_with_unknown_binding_flagged() {
+        let src = "fn f(parts: &mut [u8]) {\n    // SAFETY(disjoint: rows[0..4])\n    scatter_mut(parts, |i, p| { let _ = (i, p); });\n}\n";
+        let hits = rules_hit("crates/models/src/x.rs", src);
+        assert_eq!(hits, vec![("unsafe-disjointness-contract", 3)]);
+    }
+
+    #[test]
+    fn disjoint_header_wrong_kind_flagged() {
+        let src = "fn f(parts: &mut [u8]) {\n    // SAFETY(invariant: pool outlives tasks)\n    scatter_mut(parts, |i, p| { let _ = (i, p); });\n}\n";
+        let hits = rules_hit("crates/models/src/x.rs", src);
+        assert_eq!(hits, vec![("unsafe-disjointness-contract", 3)]);
+    }
+
+    #[test]
+    fn disjoint_header_checks_closure_and_let_bindings() {
+        let src = "fn f(buf: &mut [u8], n: usize) {\n    let (lo, hi) = buf.split_at_mut(n);\n    // SAFETY(disjoint: lo[..n], hi[n..])\n    parallel_rows_mut(lo, hi);\n}\n";
+        assert!(rules_hit("crates/tensor/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -555,6 +859,37 @@ mod tests {
     fn integer_sum_without_float_context_clean() {
         let src = "fn f(xs: &[usize]) -> usize { xs.iter().sum() }\n";
         assert!(rules_hit("crates/models/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_accum_loop_flagged() {
+        let src = "fn dot(a: &[f32], b: &[f32]) -> f32 {\n    let mut acc = 0.0f32;\n    for i in 0..a.len() {\n        acc += a[i] * b[i];\n    }\n    acc\n}\n";
+        assert_eq!(
+            rules_hit("crates/models/src/x.rs", src),
+            vec![("accum-discipline", 4)]
+        );
+    }
+
+    #[test]
+    fn float_accum_hidden_behind_binding_flagged() {
+        // the `+=` line itself is typeless; the hint rides on the binding
+        let src = "fn total(rows: &[Vec<f32>]) -> f32 {\n    let mut t: f32 = Default::default();\n    for r in rows {\n        t += head(r);\n    }\n    t\n}\nfn head(r: &[f32]) -> f32 { r[0] }\n";
+        assert_eq!(
+            rules_hit("crates/models/src/x.rs", src),
+            vec![("accum-discipline", 4)]
+        );
+    }
+
+    #[test]
+    fn integer_accum_loop_clean() {
+        let src = "fn count(xs: &[usize]) -> usize {\n    let mut n = 0usize;\n    for x in xs {\n        n += *x;\n    }\n    n\n}\n";
+        assert!(rules_hit("crates/models/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn accum_in_blessed_kernels_clean() {
+        let src = "pub fn sum(xs: &[f32]) -> f32 {\n    let mut acc = 0.0f32;\n    for x in xs {\n        acc += *x;\n    }\n    acc\n}\n";
+        assert!(rules_hit("crates/tensor/src/ops/reduce.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Seeded `accum-discipline` violations: lines 8 (float literal in the
+//! statement) and 16 (float evidence riding on the binding, the `+=` line
+//! itself typeless). Integer loops and loop-free adds must stay clean.
+
+fn bad_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+fn bad_hidden(rows: &[Vec<f32>]) -> f32 {
+    let mut total: f32 = Default::default();
+    for r in rows {
+        total += first(r);
+    }
+    total
+}
+
+fn first(r: &[f32]) -> f32 {
+    r[0]
+}
+
+fn fine_integer(xs: &[usize]) -> usize {
+    let mut n = 0usize;
+    for x in xs {
+        n += *x;
+    }
+    n
+}
+
+fn fine_no_loop(a: f32, b: f32) -> f32 {
+    let mut s = a;
+    s += b;
+    s
+}

@@ -1,0 +1,35 @@
+//! Seeded `unsafe-disjointness-contract` violations: lines 6 (no header),
+//! 11 (prose header), 16 (wrong kind), 21 (unknown binding). The sites on
+//! 26 and 34 carry valid headers and must stay clean.
+
+fn bare_site(parts: &mut [u8]) {
+    scatter_mut(parts, |i, p| drop((i, p)));
+}
+
+fn prose_site(parts: &mut [u8]) {
+    // SAFETY: each task writes its own element
+    scatter_mut(parts, |i, p| drop((i, p)));
+}
+
+fn wrong_kind(parts: &mut [u8]) {
+    // SAFETY(invariant: the pool outlives every task)
+    scatter_mut(parts, |i, p| drop((i, p)));
+}
+
+fn unknown_binding(parts: &mut [u8]) {
+    // SAFETY(disjoint: rows[r0..r1])
+    scatter_mut(parts, |i, p| drop((i, p)));
+}
+
+fn good_scatter(parts: &mut [u8]) {
+    // SAFETY(disjoint: parts[i] — each task index owns one element)
+    scatter_mut(parts, |i, p| drop((i, p)));
+}
+
+fn good_rows(out: &mut [f32], rows_per_task: usize) {
+    let chunk = rows_per_task;
+    // SAFETY(disjoint: out[rows * chunk ..], chunk)
+    // Row ranges come from chunks_mut-style arithmetic; no two tasks
+    // share a row.
+    parallel_rows_mut(out, chunk, |rows, part| drop((rows, part)));
+}

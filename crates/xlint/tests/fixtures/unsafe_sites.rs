@@ -13,6 +13,6 @@ fn deref(p: *const f32) -> f32 {
 
 struct Ptr<'a>(&'a f32);
 
-// SAFETY: single exclusive owner of the region
+// SAFETY(invariant: single exclusive owner of the region)
 unsafe impl<'a> Send for Ptr<'a> {}
 unsafe impl<'a> Sync for Ptr<'a> {}

@@ -1,0 +1,16 @@
+//! Clean twin of xcrate_models.rs: the decode path and its buried unwrap
+//! are identical, but every request-path edge into this file is
+//! suppressed on the serving side (xcrate_serving_clean.rs), so no
+//! diagnostic may surface here.
+
+pub fn decode_greedy(prompt: &[u32], steps: usize) -> Vec<u32> {
+    let mut out = prompt.to_vec();
+    for _ in 0..steps {
+        out.push(argmax(&out));
+    }
+    out
+}
+
+fn argmax(xs: &[u32]) -> u32 {
+    *xs.last().unwrap()
+}

@@ -12,6 +12,16 @@ fn diags(virtual_path: &str, src: &str) -> Vec<(&'static str, u32)> {
         .collect()
 }
 
+/// Lint several fixture files as one virtual workspace (exercises the
+/// cross-crate call-graph rules, which `lint_source` runs on one file).
+fn workspace_diags(files: &[(&str, &str)]) -> Vec<xlint::Diagnostic> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    xlint::lint_sources(&owned)
+}
+
 #[test]
 fn unsafe_fixture_flags_uncommented_sites_only() {
     let src = include_str!("fixtures/unsafe_sites.rs");
@@ -119,6 +129,91 @@ fn allows_fixture_flags_every_bad_suppression() {
             ("allow-needs-justification", 19),
         ],
         "the justified #[allow] on line 7 must pass"
+    );
+}
+
+#[test]
+fn disjoint_fixture_flags_every_bad_scatter_header() {
+    let src = include_str!("fixtures/disjoint.rs");
+    assert_eq!(
+        diags("crates/tensor/src/fixture.rs", src),
+        vec![
+            ("unsafe-disjointness-contract", 6),
+            ("unsafe-disjointness-contract", 11),
+            ("unsafe-disjointness-contract", 16),
+            ("unsafe-disjointness-contract", 21),
+        ],
+        "the structured headers on lines 25 and 31 must satisfy the contract"
+    );
+}
+
+#[test]
+fn accum_fixture_flags_float_loops_outside_blessed_kernels() {
+    let src = include_str!("fixtures/accum.rs");
+    assert_eq!(
+        diags("crates/models/src/fixture.rs", src),
+        vec![("accum-discipline", 8), ("accum-discipline", 16)],
+        "integer loops and loop-free compound adds must stay clean"
+    );
+    assert_eq!(
+        diags("crates/tensor/src/ops/fixture.rs", src),
+        vec![],
+        "tensor kernels are the blessed home for raw reduction loops"
+    );
+}
+
+#[test]
+fn cross_crate_unwrap_is_caught_from_the_request_handler() {
+    let got = workspace_diags(&[
+        (
+            "crates/serving/src/fixture.rs",
+            include_str!("fixtures/xcrate_serving.rs"),
+        ),
+        (
+            "crates/models/src/fixture.rs",
+            include_str!("fixtures/xcrate_models.rs"),
+        ),
+    ]);
+    let shape: Vec<(&str, &str, u32)> = got
+        .iter()
+        .map(|d| (d.path.as_str(), d.rule, d.line))
+        .collect();
+    assert_eq!(
+        shape,
+        vec![
+            ("crates/models/src/fixture.rs", "transitive-panic-in-request-path", 16),
+            ("crates/models/src/fixture.rs", "transitive-panic-in-request-path", 21),
+        ],
+        "the unwrap two hops from handle_generate and the panic under \
+         BatchGenerator::step must surface; `shaped`'s unwrap is unreachable"
+    );
+    assert!(
+        got[0].msg.contains("handle_generate -> decode_greedy -> argmax"),
+        "the diagnostic must name the shortest root path: {}",
+        got[0].msg
+    );
+}
+
+#[test]
+fn infallible_edge_keeps_the_clean_twin_clean() {
+    let got = workspace_diags(&[
+        (
+            "crates/serving/src/fixture.rs",
+            include_str!("fixtures/xcrate_serving_clean.rs"),
+        ),
+        (
+            "crates/models/src/fixture.rs",
+            include_str!("fixtures/xcrate_models_clean.rs"),
+        ),
+    ]);
+    assert!(
+        got.is_empty(),
+        "the justified infallible() edge must cut the only path to the \
+         unwrap (and count as used, not stale), got:\n{}",
+        got.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 

@@ -14,8 +14,19 @@ cd "$(dirname "$0")/.."
 export RUSTFLAGS="-Dwarnings"
 export CARGO_NET_OFFLINE="true"
 
-echo "== xlint (workspace static analysis) =="
-cargo run -q -p xlint --offline
+echo "== xlint (call-graph workspace analysis, <5s budget) =="
+# Build first so compile time doesn't count against the lint budget;
+# the JSON report lands in target/ for tooling. A non-zero exit (any
+# diagnostic) fails the gate via `set -e`.
+cargo build -q -p xlint --offline
+xlint_start=$(date +%s%N)
+./target/debug/xlint --emit=json > target/xlint_report.json
+xlint_ms=$(( ($(date +%s%N) - xlint_start) / 1000000 ))
+echo "xlint: clean in ${xlint_ms}ms (report: target/xlint_report.json)"
+if [ "$xlint_ms" -ge 5000 ]; then
+    echo "xlint: exceeded the 5s wall-time budget (${xlint_ms}ms)" >&2
+    exit 1
+fi
 
 echo "== build (release, warnings are errors) =="
 cargo build --workspace --release --offline
