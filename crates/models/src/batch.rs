@@ -169,6 +169,23 @@ struct GenState {
     last: u32,
     stopped: bool,
     registered: bool,
+    /// Where TTFT counts from: the request's enqueue stamp when the
+    /// caller supplied one, otherwise the admission stamp.
+    origin_ns: u64,
+    /// Set once the first sampled token has been attributed to TTFT.
+    ttft_recorded: bool,
+    /// The request's trace, if serving attached one. Recording is two
+    /// relaxed/release stores per phase; `None` costs one branch.
+    trace: Option<obs::reqtrace::TraceHandle>,
+}
+
+impl GenState {
+    /// Append a phase record to the attached trace, if any.
+    fn trace_record(&self, phase: obs::reqtrace::Phase, a: u32, b: u32) {
+        if let Some(t) = &self.trace {
+            t.record(phase, a, b);
+        }
+    }
 }
 
 /// The continuous-batching engine: owns the block pool, the prefix
@@ -190,6 +207,7 @@ pub struct BatchGenerator {
     batch_size_hist: Arc<obs::metrics::Histogram>,
     kv_hits: Arc<obs::metrics::Counter>,
     kv_misses: Arc<obs::metrics::Counter>,
+    ttft_hist: Arc<obs::metrics::Histogram>,
 }
 
 impl BatchGenerator {
@@ -220,6 +238,7 @@ impl BatchGenerator {
             batch_size_hist: obs::metrics::histogram(&format!("decode_batch_size{labels}")),
             kv_hits: obs::metrics::counter(&format!("decode_kv_hits_total{labels}")),
             kv_misses: obs::metrics::counter(&format!("decode_kv_misses_total{labels}")),
+            ttft_hist: obs::metrics::histogram(&format!("ttft_ns{labels}")),
         }
     }
 
@@ -247,6 +266,21 @@ impl BatchGenerator {
     /// worst-case block count (so later steps cannot starve), and join
     /// the batch at the next step. Returns the sequence id.
     pub fn admit(&mut self, req: BatchRequest) -> Result<u64, AdmitError> {
+        self.admit_traced(req, obs::reqtrace::TraceMeta::default())
+    }
+
+    /// [`Self::admit`] with request-trace metadata attached: a
+    /// successful admission records an `Admit` phase carrying the
+    /// KV-prefix hit/miss split, and TTFT for the sequence counts from
+    /// `meta.enqueued_ns` (admission time if the caller left it 0).
+    /// Refusals record nothing — the serving queue owns the
+    /// requeue/reject phases, since only it knows which refusals are
+    /// transient.
+    pub fn admit_traced(
+        &mut self,
+        req: BatchRequest,
+        meta: obs::reqtrace::TraceMeta,
+    ) -> Result<u64, AdmitError> {
         assert!(!req.prompt.is_empty(), "batched generate requires a prompt");
         if self.active.len() >= self.max_batch {
             return Err(AdmitError::BatchFull);
@@ -275,6 +309,16 @@ impl BatchGenerator {
         }
         let id = self.next_id;
         self.next_id += 1;
+        meta.record(
+            obs::reqtrace::Phase::Admit,
+            shared as u32,
+            (req.prompt.len() - shared) as u32,
+        );
+        let origin_ns = if meta.enqueued_ns != 0 {
+            meta.enqueued_ns
+        } else {
+            obs::Clock::now().at_ns()
+        };
         self.active.push(GenState {
             id,
             fed: shared,
@@ -285,6 +329,9 @@ impl BatchGenerator {
             last: 0,
             stopped: false,
             registered: false,
+            origin_ns,
+            ttft_recorded: false,
+            trace: meta.trace,
             prompt: req.prompt,
         });
         Ok(id)
@@ -321,6 +368,11 @@ impl BatchGenerator {
             for (g, l) in self.active.iter_mut().zip(logits) {
                 g.seq.commit();
                 if g.fed < g.prompt.len() {
+                    g.trace_record(
+                        obs::reqtrace::Phase::PrefillChunk,
+                        g.fed as u32,
+                        batch_size as u32,
+                    );
                     g.fed += 1;
                 }
                 if g.fed < g.prompt.len() {
@@ -333,12 +385,23 @@ impl BatchGenerator {
                     g.registered = true;
                 }
                 let next = select_token(&l, &g.cfg, &mut g.rng);
+                if !g.ttft_recorded {
+                    g.ttft_recorded = true;
+                    let ttft = obs::Clock::now().at_ns().saturating_sub(g.origin_ns);
+                    obs::static_histogram!("ttft_ns").observe(ttft);
+                    self.ttft_hist.observe(ttft);
+                }
                 if Some(next) == g.cfg.stop_token {
                     g.stopped = true; // retired below; stop token excluded
                 } else {
                     g.out.push(next);
                     g.last = next;
                 }
+                g.trace_record(
+                    obs::reqtrace::Phase::DecodeStep,
+                    g.out.len() as u32,
+                    batch_size as u32,
+                );
             }
         }
 
@@ -347,6 +410,7 @@ impl BatchGenerator {
             let done =
                 g.fed >= g.prompt.len() && (g.stopped || g.out.len() >= g.cfg.max_tokens);
             if done {
+                g.trace_record(obs::reqtrace::Phase::Retire, g.out.len() as u32, 0);
                 g.seq.release_all(&mut self.pool);
                 finished.push(FinishedSeq {
                     id: g.id,

@@ -4,7 +4,10 @@
 //! [`generate`] is instrumented with `obs`: a `decode` span wrapping each
 //! call (with per-token `decode.token` child spans), a prefill-latency
 //! histogram, and the per-token latency histogram/counter the serving
-//! layer's `/metrics` endpoint exposes.
+//! layer's `/metrics` endpoint exposes. [`generate_traced`] additionally
+//! threads an [`obs::reqtrace::TraceMeta`] through the loop, appending
+//! per-token phase records to the request's trace and attributing TTFT
+//! back to the serving queue's enqueue stamp.
 
 use ratatouille_util::rng::StdRng;
 use ratatouille_util::rng::RngExt;
@@ -71,6 +74,24 @@ pub fn generate<M: InferenceModel + ?Sized>(
     cfg: &SamplerConfig,
     rng: &mut StdRng,
 ) -> Vec<u32> {
+    generate_traced(model, prompt, cfg, rng, &obs::reqtrace::TraceMeta::default())
+}
+
+/// [`generate`] with request-trace metadata attached: each prompt token
+/// records a `prefill_chunk` phase, each sampled token a `decode_step`
+/// phase (batch size 1 — this is the solo path), and time-to-first-token
+/// lands in the `ttft_ns` histogram plus its `{model=…}` twin, counted
+/// from `meta.enqueued_ns` (prefill start if the caller left it 0).
+/// Untraced metadata costs one branch per phase — no stamps, no stores —
+/// and the token stream is identical either way (telemetry is
+/// write-only, §4b).
+pub fn generate_traced<M: InferenceModel + ?Sized>(
+    model: &M,
+    prompt: &[u32],
+    cfg: &SamplerConfig,
+    rng: &mut StdRng,
+    meta: &obs::reqtrace::TraceMeta,
+) -> Vec<u32> {
     assert!(!prompt.is_empty(), "generate requires a non-empty prompt");
     let _span = obs::span!("decode");
     // Labeled handles are resolved once per call, not per token: the
@@ -83,24 +104,45 @@ pub fn generate<M: InferenceModel + ?Sized>(
     );
     let labeled_token_ns = obs::metrics::histogram(&format!("decode_token_ns{labels}"));
     let labeled_tokens_total = obs::metrics::counter(&format!("decode_tokens_total{labels}"));
+    // TTFT is labeled by model only (no dtype) so the pooled and batched
+    // paths feed one series family per model.
+    let labeled_ttft = obs::metrics::histogram(&format!(
+        "ttft_ns{{model=\"{}\"}}",
+        metric_label(model.name())
+    ));
     let mut stream = model.start_stream();
     let mut logits: Option<Tensor> = None;
     let prefill_start = obs::Clock::now();
-    for &t in prompt {
+    let origin_ns = if meta.enqueued_ns != 0 {
+        meta.enqueued_ns
+    } else {
+        prefill_start.at_ns()
+    };
+    for (i, &t) in prompt.iter().enumerate() {
         logits = Some(stream.push(t));
+        meta.record(obs::reqtrace::Phase::PrefillChunk, i as u32, 1);
     }
     obs::static_histogram!("decode_prefill_ns").observe(prefill_start.elapsed_ns());
     let mut out = Vec::with_capacity(cfg.max_tokens);
+    let mut ttft_recorded = false;
     for _ in 0..cfg.max_tokens {
         let token_span = obs::span!("decode.token");
         let token_start = obs::Clock::now();
         let l = logits.take().expect("logits available after prompt");
         let next = select_token(&l, cfg, rng);
+        if !ttft_recorded {
+            ttft_recorded = true;
+            let ttft = obs::Clock::now().at_ns().saturating_sub(origin_ns);
+            obs::static_histogram!("ttft_ns").observe(ttft);
+            labeled_ttft.observe(ttft);
+        }
         if Some(next) == cfg.stop_token {
+            meta.record(obs::reqtrace::Phase::DecodeStep, out.len() as u32, 1);
             drop(token_span);
             break;
         }
         out.push(next);
+        meta.record(obs::reqtrace::Phase::DecodeStep, out.len() as u32, 1);
         logits = Some(stream.push(next));
         let elapsed = token_start.elapsed_ns();
         obs::static_histogram!("decode_token_ns").observe(elapsed);

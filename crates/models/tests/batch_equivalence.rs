@@ -179,6 +179,76 @@ fn shared_prefix_blocks_reproduce_the_computed_stream() {
 }
 
 #[test]
+fn trace_phase_sequence_is_deterministic_across_batch_compositions() {
+    use obs::reqtrace::{begin, Phase, TraceHandle, TraceMeta};
+
+    let model = tiny();
+    let bm = model.batch_model().unwrap();
+    let cfg = sampled(9);
+    let prompt = [4u32, 9, 2, 7, 11, 1];
+
+    // The phase kinds plus their composition-independent first argument
+    // (prefill position, tokens-out, KV hit count). Timestamps and ids
+    // are excluded by construction; the second argument carries the
+    // batch size, which legitimately differs between compositions.
+    fn shape(t: &TraceHandle) -> Vec<(Phase, u32)> {
+        t.phases().iter().map(|p| (p.phase, p.a)).collect()
+    }
+
+    // Solo (batch of 1).
+    let mut engine = BatchGenerator::new(bm, engine_cfg(0));
+    let solo_trace = begin();
+    let id = engine
+        .admit_traced(
+            req(&prompt, 55, &cfg),
+            TraceMeta {
+                enqueued_ns: 0,
+                trace: Some(solo_trace.clone()),
+            },
+        )
+        .expect("admit solo");
+    engine.run_to_completion(bm, id).expect("pool sized for solo");
+
+    // The same request inside a batch of 7 with distinct neighbours.
+    let mut engine = BatchGenerator::new(bm, engine_cfg(0));
+    let batched_trace = begin();
+    let id = engine
+        .admit_traced(
+            req(&prompt, 55, &cfg),
+            TraceMeta {
+                enqueued_ns: 0,
+                trace: Some(batched_trace.clone()),
+            },
+        )
+        .expect("admit traced");
+    for i in 0..6u32 {
+        let p: Vec<u32> = (0..(3 + i as usize))
+            .map(|t| (5 + i + t as u32) % 16)
+            .collect();
+        engine
+            .admit(req(&p, 200 + i as u64, &cfg))
+            .expect("admit neighbour");
+    }
+    engine.run_to_completion(bm, id).expect("pool sized for batch");
+
+    let a = shape(&solo_trace);
+    let b = shape(&batched_trace);
+    // The lifecycle is fully present: accept (from begin), admit, one
+    // prefill chunk per prompt token, every decode step, and retirement.
+    assert_eq!(a.first().map(|(p, _)| *p), Some(Phase::Accept));
+    assert_eq!(
+        a.iter().filter(|(p, _)| *p == Phase::PrefillChunk).count(),
+        prompt.len()
+    );
+    assert_eq!(
+        a.iter().filter(|(p, _)| *p == Phase::DecodeStep).count(),
+        cfg.max_tokens
+    );
+    assert_eq!(a.last().map(|(p, _)| *p), Some(Phase::Retire));
+    assert_eq!(a, b, "trace phase sequence depends on batch composition");
+}
+
+#[test]
 fn greedy_streams_are_identical_across_all_compositions() {
     let model = tiny();
     let bm = model.batch_model().unwrap();

@@ -8,6 +8,9 @@
 //!   format by [`metrics::render_prometheus`] (served at `GET /metrics`);
 //! * [`trace`] — hierarchical RAII spans with a bounded event ring and a
 //!   flamegraph-compatible folded-stacks dump;
+//! * [`reqtrace`] — per-request phase traces (lock-free on the decode
+//!   path) with a bounded completed ring and a slow-request reservoir,
+//!   serving `/debug/requests` and Chrome trace-event export;
 //! * [`Clock`]/[`Stamp`] — monotonic stamps, re-exported from [`clock`].
 //!
 //! # Determinism contract
@@ -36,6 +39,7 @@
 
 pub mod clock;
 pub mod metrics;
+pub mod reqtrace;
 pub mod trace;
 
 pub use clock::{Clock, Stamp};

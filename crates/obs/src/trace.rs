@@ -54,6 +54,10 @@ struct TraceState {
     /// path -> (close count, total self-time ns).
     folded: BTreeMap<String, (u64, u64)>,
     ring: VecDeque<SpanEvent>,
+    /// Events evicted from the ring since the last [`reset`] — without
+    /// this, a busy window silently overwrites history and a reader of
+    /// [`recent_events`] can't tell a quiet period from a saturated ring.
+    dropped: u64,
 }
 
 static TRACE: OnceLock<Mutex<TraceState>> = OnceLock::new();
@@ -118,6 +122,7 @@ impl Drop for SpanGuard {
         entry.1 += self_ns;
         if st.ring.len() == RING_CAPACITY {
             st.ring.pop_front();
+            st.dropped += 1;
         }
         st.ring.push_back(SpanEvent {
             path,
@@ -129,14 +134,22 @@ impl Drop for SpanGuard {
 
 /// Render the aggregate span data as folded stacks — one
 /// `path;to;span self_ns` line per unique path, in deterministic path
-/// order — directly consumable by `flamegraph.pl` / `inferno`.
+/// order — directly consumable by `flamegraph.pl` / `inferno`. The first
+/// line is a `#`-prefixed header (a comment to flamegraph tooling)
+/// reporting how many events the bounded ring has overwritten, so a
+/// saturated ring is visible instead of silently lossy.
 pub fn folded_stacks() -> String {
     let st = lock_state();
-    let mut out = String::new();
+    let mut out = format!("# ring_dropped: {}\n", st.dropped);
     for (path, (_count, self_ns)) in st.folded.iter() {
         out.push_str(&format!("{path} {self_ns}\n"));
     }
     out
+}
+
+/// Events evicted from the recent-events ring since the last [`reset`].
+pub fn ring_dropped() -> u64 {
+    lock_state().dropped
 }
 
 /// Aggregate close counts per path, in deterministic path order.
@@ -160,6 +173,7 @@ pub fn reset() {
     let mut st = lock_state();
     st.folded.clear();
     st.ring.clear();
+    st.dropped = 0;
 }
 
 #[cfg(test)]
@@ -227,13 +241,19 @@ mod tests {
     }
 
     #[test]
-    fn ring_is_bounded() {
+    fn ring_is_bounded_and_counts_drops() {
         let _guard = trace_test_lock();
         reset();
+        assert_eq!(ring_dropped(), 0);
         for _ in 0..RING_CAPACITY + 10 {
             let _s = span("ring_bound_test");
         }
         assert_eq!(recent_events().len(), RING_CAPACITY);
+        assert_eq!(ring_dropped(), 10);
+        let folded = folded_stacks();
+        assert!(folded.starts_with("# ring_dropped: 10\n"), "{folded}");
+        reset();
+        assert_eq!(ring_dropped(), 0);
     }
 
     #[test]

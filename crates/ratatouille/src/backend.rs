@@ -13,7 +13,7 @@ use ratatouille_util::rng::SeedableRng;
 
 use ratatouille_eval::structure::validate_tagged_recipe;
 use ratatouille_models::registry::{build_model, ModelKind};
-use ratatouille_models::sample::{generate, SamplerConfig};
+use ratatouille_models::sample::{generate_traced, SamplerConfig};
 use ratatouille_models::{InferenceModel, LanguageModel};
 use ratatouille_serving::api::{GeneratedRecipe, RecipeBackend, RecipeBackendFactory};
 use ratatouille_tensor::serialize::TensorMap;
@@ -62,14 +62,15 @@ impl ModelBackend {
     pub fn set_max_tokens(&mut self, n: usize) {
         self.max_tokens = n.max(1);
     }
-}
 
-impl RecipeBackend for ModelBackend {
-    fn generate(&mut self, ingredients: &[String]) -> GeneratedRecipe {
-        self.generate_with_dtype(ingredients, "f32")
-    }
-
-    fn generate_with_dtype(&mut self, ingredients: &[String], dtype: &str) -> GeneratedRecipe {
+    /// The decode body shared by the traced and untraced entry points:
+    /// prompt → (possibly quantized) generation → structural validation.
+    fn decode_recipe(
+        &mut self,
+        ingredients: &[String],
+        dtype: &str,
+        meta: &obs::reqtrace::TraceMeta,
+    ) -> GeneratedRecipe {
         let prompt_text = prompt_for(ingredients);
         let prompt = self.tokenizer.encode(&prompt_text);
         let cfg = SamplerConfig {
@@ -78,8 +79,8 @@ impl RecipeBackend for ModelBackend {
             ..self.sampler.clone()
         };
         let continuation = match (&self.quant, dtype) {
-            (Some(q), "int8") => generate(q.as_ref(), &prompt, &cfg, &mut self.rng),
-            _ => generate(self.model.as_ref(), &prompt, &cfg, &mut self.rng),
+            (Some(q), "int8") => generate_traced(q.as_ref(), &prompt, &cfg, &mut self.rng, meta),
+            _ => generate_traced(self.model.as_ref(), &prompt, &cfg, &mut self.rng, meta),
         };
         let mut tagged = prompt_text;
         tagged.push_str(&self.tokenizer.decode(&continuation));
@@ -95,6 +96,16 @@ impl RecipeBackend for ModelBackend {
             well_formed: report.valid,
         }
     }
+}
+
+impl RecipeBackend for ModelBackend {
+    fn generate(&mut self, ingredients: &[String]) -> GeneratedRecipe {
+        self.generate_with_dtype(ingredients, "f32")
+    }
+
+    fn generate_with_dtype(&mut self, ingredients: &[String], dtype: &str) -> GeneratedRecipe {
+        self.decode_recipe(ingredients, dtype, &obs::reqtrace::TraceMeta::default())
+    }
 
     fn generate_seeded(
         &mut self,
@@ -102,17 +113,32 @@ impl RecipeBackend for ModelBackend {
         dtype: &str,
         seed: Option<u64>,
     ) -> GeneratedRecipe {
+        self.generate_traced(
+            ingredients,
+            dtype,
+            seed,
+            &obs::reqtrace::TraceMeta::default(),
+        )
+    }
+
+    fn generate_traced(
+        &mut self,
+        ingredients: &[String],
+        dtype: &str,
+        seed: Option<u64>,
+        meta: &obs::reqtrace::TraceMeta,
+    ) -> GeneratedRecipe {
         match seed {
             // A pinned seed decodes from a fresh RNG so the result
             // depends only on (weights, prompt, seed) — replayable.
             Some(s) => {
                 let mut rng = StdRng::seed_from_u64(s);
                 std::mem::swap(&mut self.rng, &mut rng);
-                let out = self.generate_with_dtype(ingredients, dtype);
+                let out = self.decode_recipe(ingredients, dtype, meta);
                 self.rng = rng;
                 out
             }
-            None => self.generate_with_dtype(ingredients, dtype),
+            None => self.decode_recipe(ingredients, dtype, meta),
         }
     }
 

@@ -85,6 +85,15 @@ impl StepBackend for BatchModelBackend {
     }
 
     fn admit(&mut self, ingredients: &[String], seed: Option<u64>) -> AdmitOutcome {
+        self.admit_traced(ingredients, seed, obs::reqtrace::TraceMeta::default())
+    }
+
+    fn admit_traced(
+        &mut self,
+        ingredients: &[String],
+        seed: Option<u64>,
+        meta: obs::reqtrace::TraceMeta,
+    ) -> AdmitOutcome {
         let prompt_text = prompt_for(ingredients);
         let prompt = self.tokenizer.encode(&prompt_text);
         if prompt.is_empty() {
@@ -101,11 +110,14 @@ impl StepBackend for BatchModelBackend {
             self.unseeded += 1;
             0x5EED ^ self.unseeded
         });
-        match self.engine.admit(BatchRequest {
-            prompt,
-            sampler: cfg,
-            seed,
-        }) {
+        match self.engine.admit_traced(
+            BatchRequest {
+                prompt,
+                sampler: cfg,
+                seed,
+            },
+            meta,
+        ) {
             Ok(id) => {
                 self.prompts.insert(id, prompt_text);
                 AdmitOutcome::Admitted(id)

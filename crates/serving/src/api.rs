@@ -8,13 +8,19 @@
 //!   `{"title", "ingredients", "instructions", "model", "latency_ms"}`;
 //! * `GET  /healthz`      — bare-text liveness probe;
 //! * `GET  /metrics`      — the `obs` registry in Prometheus text format;
-//! * `GET  /debug/stacks` — folded span stacks (flamegraph input).
+//! * `GET  /debug/stacks` — folded span stacks (flamegraph input);
+//! * `GET  /debug/requests`        — completed request-trace summaries;
+//! * `GET  /debug/requests/<id>`   — one request's full phase timeline;
+//! * `GET  /debug/trace?fmt=chrome` — Chrome trace-event JSON of every
+//!   retained request (open in `chrome://tracing` or Perfetto).
 //!
 //! The API is generic over [`RecipeBackend`] so this crate stays free of
 //! model dependencies; the `ratatouille` crate plugs the real models in.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use obs::reqtrace::TraceSink;
 
 use crate::frontend;
 use crate::http::{HttpServer, Request, Response, StatusCode};
@@ -101,6 +107,22 @@ pub trait RecipeBackend {
         self.generate_with_dtype(ingredients, dtype)
     }
 
+    /// [`Self::generate_seeded`] with queue metadata attached: the
+    /// enqueue stamp (for TTFT attribution from the client's enqueue,
+    /// not the worker's pickup) and the request's trace, which model
+    /// backends thread into the decode loop as a
+    /// [`obs::reqtrace::TraceSink`]. The default ignores the metadata.
+    fn generate_traced(
+        &mut self,
+        ingredients: &[String],
+        dtype: &str,
+        seed: Option<u64>,
+        meta: &obs::reqtrace::TraceMeta,
+    ) -> GeneratedRecipe {
+        let _ = meta;
+        self.generate_seeded(ingredients, dtype, seed)
+    }
+
     /// The weight dtypes this backend can serve; the first entry is the
     /// default when a request names none. The server validates
     /// `?dtype=…` against this set at request time (400 otherwise).
@@ -126,6 +148,10 @@ struct GenJob {
     ingredients: Vec<String>,
     dtype: String,
     seed: Option<u64>,
+    /// Stamp taken in the handler when the job entered the pool queue.
+    enqueued_ns: u64,
+    /// The request's trace, if the HTTP layer attached one.
+    trace: Option<obs::reqtrace::TraceHandle>,
 }
 
 struct GenOut {
@@ -157,15 +183,29 @@ impl ApiServer {
             queue_cap,
             move |wi| {
                 let mut backend = factory(wi);
-                // Per-model twin of the aggregate latency histogram,
-                // resolved once per worker (never in the hot path).
+                // Per-model twins of the aggregate histograms, resolved
+                // once per worker (never in the hot path).
+                let model_label = obs::metrics::label_value(&backend.model_name());
                 let labeled_latency = obs::metrics::histogram(&format!(
-                    "generate_latency_ns{{model=\"{}\"}}",
-                    obs::metrics::label_value(&backend.model_name())
+                    "generate_latency_ns{{model=\"{model_label}\"}}"
+                ));
+                let labeled_queue_wait = obs::metrics::histogram(&format!(
+                    "request_queue_wait_ns{{model=\"{model_label}\"}}"
                 ));
                 move |job: GenJob| {
                     let start = obs::Clock::now();
-                    let recipe = backend.generate_seeded(&job.ingredients, &job.dtype, job.seed);
+                    let wait_ns = start.at_ns().saturating_sub(job.enqueued_ns);
+                    obs::static_histogram!("request_queue_wait_ns").observe(wait_ns);
+                    labeled_queue_wait.observe(wait_ns);
+                    let meta = obs::reqtrace::TraceMeta {
+                        enqueued_ns: job.enqueued_ns,
+                        trace: job.trace,
+                    };
+                    // Pooled admission is implicit (a worker picked the
+                    // job up); no KV cache, so both args are 0.
+                    meta.record(obs::reqtrace::Phase::Admit, 0, 0);
+                    let recipe =
+                        backend.generate_traced(&job.ingredients, &job.dtype, job.seed, &meta);
                     let ns = start.elapsed_ns();
                     obs::static_histogram!("generate_latency_ns").observe(ns);
                     labeled_latency.observe(ns);
@@ -222,7 +262,10 @@ impl ApiServer {
             })
             .route("GET", "/debug/stacks", |_req| {
                 Response::text(StatusCode::Ok, obs::trace::folded_stacks())
-            });
+            })
+            .route("GET", "/debug/requests", handle_debug_requests)
+            .route_prefix("GET", "/debug/requests/", handle_debug_request_detail)
+            .route("GET", "/debug/trace", handle_debug_trace);
 
         let server = HttpServer::start(addr, move |req| router.dispatch(&req))?;
         Ok(ApiServer {
@@ -286,7 +329,10 @@ impl ApiServer {
             })
             .route("GET", "/debug/stacks", |_req| {
                 Response::text(StatusCode::Ok, obs::trace::folded_stacks())
-            });
+            })
+            .route("GET", "/debug/requests", handle_debug_requests)
+            .route_prefix("GET", "/debug/requests/", handle_debug_request_detail)
+            .route("GET", "/debug/trace", handle_debug_trace);
 
         let server = HttpServer::start(addr, move |req| router.dispatch(&req))?;
         Ok(ApiServer {
@@ -344,7 +390,14 @@ fn handle_generate_batched(
         Ok(ok) => ok,
         Err(resp) => return resp,
     };
-    match runner.submit(ingredients, seed) {
+    // The request is about to enter the batch queue; recording the
+    // phase here (not inside `submit_traced`) keeps the span open
+    // before any backend call, which xlint's trace-before-backend
+    // rule pins for every serving `handle*` root.
+    if let Some(t) = &req.trace {
+        t.record_phase(obs::reqtrace::Phase::Enqueue, 0, 0);
+    }
+    match runner.submit_traced(ingredients, seed, req.trace.clone()) {
         Ok(out) => {
             stats.generated.fetch_add(1, Ordering::Relaxed);
             stats
@@ -432,6 +485,117 @@ fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
     })
 }
 
+/// `GET /debug/requests` — JSON summaries of every retained completed
+/// trace (bounded ring + slow-request reservoir), newest first.
+fn handle_debug_requests(_req: &Request) -> Response {
+    let traces = obs::reqtrace::completed();
+    let mut items = Vec::with_capacity(traces.len());
+    for t in &traces {
+        let phases = t.phases();
+        let decode_steps = phases
+            .iter()
+            .filter(|p| p.phase == obs::reqtrace::Phase::DecodeStep)
+            .count();
+        // HTTP status from the final `respond` record (absent only if
+        // the phase log overflowed before the response was written).
+        let status = phases
+            .iter()
+            .rev()
+            .find(|p| p.phase == obs::reqtrace::Phase::Respond)
+            .map_or(Json::Null, |p| Json::Number(p.a as f64));
+        items.push(Json::object(vec![
+            ("id", Json::Number(t.id() as f64)),
+            ("start_ns", Json::Number(t.start_ns() as f64)),
+            ("duration_ns", Json::Number(t.duration_ns() as f64)),
+            ("phases", Json::Number(phases.len() as f64)),
+            ("decode_steps", Json::Number(decode_steps as f64)),
+            ("dropped", Json::Number(t.dropped() as f64)),
+            ("status", status),
+        ]));
+    }
+    let body = Json::object(vec![("requests", Json::Array(items))]);
+    Response::json(StatusCode::Ok, body.to_string())
+}
+
+/// `GET /debug/requests/<id>` — one request's full phase timeline, with
+/// per-phase argument names from [`obs::reqtrace::Phase::arg_keys`].
+fn handle_debug_request_detail(req: &Request) -> Response {
+    let id = match req
+        .path
+        .strip_prefix("/debug/requests/")
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(id) => id,
+        None => {
+            return Response::json(
+                StatusCode::BadRequest,
+                Json::object(vec![(
+                    "error",
+                    Json::string("trace id must be an integer"),
+                )])
+                .to_string(),
+            )
+        }
+    };
+    let Some(t) = obs::reqtrace::find(id) else {
+        return Response::json(
+            StatusCode::NotFound,
+            Json::object(vec![(
+                "error",
+                Json::string(format!(
+                    "trace {id} not retained (ring keeps the last {}, \
+                     the reservoir the {} slowest)",
+                    obs::reqtrace::RING_CAPACITY,
+                    obs::reqtrace::SLOW_CAPACITY
+                )),
+            )])
+            .to_string(),
+        );
+    };
+    let timeline: Vec<Json> = t
+        .phases()
+        .iter()
+        .map(|p| {
+            let (ka, kb) = p.phase.arg_keys();
+            Json::object(vec![
+                ("phase", Json::string(p.phase.name())),
+                ("at_ns", Json::Number(p.at_ns as f64)),
+                (ka, Json::Number(p.a as f64)),
+                (kb, Json::Number(p.b as f64)),
+            ])
+        })
+        .collect();
+    let body = Json::object(vec![
+        ("id", Json::Number(t.id() as f64)),
+        ("start_ns", Json::Number(t.start_ns() as f64)),
+        ("done_ns", Json::Number(t.done_ns() as f64)),
+        ("duration_ns", Json::Number(t.duration_ns() as f64)),
+        ("dropped", Json::Number(t.dropped() as f64)),
+        ("timeline", Json::Array(timeline)),
+    ]);
+    Response::json(StatusCode::Ok, body.to_string())
+}
+
+/// `GET /debug/trace?fmt=chrome` — every retained trace as Chrome
+/// trace-event JSON (load in `chrome://tracing` or Perfetto).
+fn handle_debug_trace(req: &Request) -> Response {
+    match query_param(&req.query, "fmt") {
+        None | Some("chrome") => Response {
+            status: StatusCode::Ok,
+            content_type: "application/json".into(),
+            body: obs::reqtrace::chrome_trace_json().into_bytes(),
+        },
+        Some(other) => Response::json(
+            StatusCode::BadRequest,
+            Json::object(vec![(
+                "error",
+                Json::string(format!("unknown trace format `{other}`; try fmt=chrome")),
+            )])
+            .to_string(),
+        ),
+    }
+}
+
 fn handle_generate(
     req: &Request,
     pool: &WorkerPool<GenJob, GenOut>,
@@ -459,10 +623,17 @@ fn handle_generate(
         Ok(ok) => ok,
         Err(resp) => return resp,
     };
+    // Open the request's queue span before handing off to the pool
+    // (xlint's trace-before-backend rule pins this ordering).
+    if let Some(t) = &req.trace {
+        t.record_phase(obs::reqtrace::Phase::Enqueue, 0, 0);
+    }
     match pool.execute(GenJob {
         ingredients,
         dtype: dtype.to_string(),
         seed,
+        enqueued_ns: obs::Clock::now().at_ns(),
+        trace: req.trace.clone(),
     }) {
         Ok(out) => {
             stats.generated.fetch_add(1, Ordering::Relaxed);
@@ -695,6 +866,70 @@ mod tests {
         let (_, body) = client.get("/api/models").unwrap();
         let v = Json::parse(&body).unwrap();
         assert_eq!(v.get("dtypes").unwrap().as_string_vec(), vec!["f32"]);
+        srv.stop();
+    }
+
+    #[test]
+    fn debug_requests_expose_the_full_trace_timeline() {
+        let srv = boot();
+        let client = HttpClient::new(srv.addr());
+        let (status, headers, _) = client
+            .post_json_with_headers("/api/generate", r#"{"ingredients":["kale"]}"#)
+            .unwrap();
+        assert_eq!(status, 200);
+        let id: u64 = headers
+            .iter()
+            .find(|(k, _)| k == "x-trace-id")
+            .and_then(|(_, v)| v.parse().ok())
+            .expect("x-trace-id header on a traced response");
+
+        // The summary list retains the request.
+        let (status, body) = client.get("/debug/requests").unwrap();
+        assert_eq!(status, 200);
+        let v = Json::parse(&body).unwrap();
+        let ids: Vec<f64> = v
+            .get("requests")
+            .and_then(|r| r.as_array().map(|a| a.to_vec()))
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|e| e.get("id").and_then(Json::as_f64))
+            .collect();
+        assert!(ids.contains(&(id as f64)), "{body}");
+
+        // The detail view reconstructs the lifecycle in order: the
+        // pooled path records accept → enqueue → admit → respond.
+        let (status, body) = client.get(&format!("/debug/requests/{id}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some(id as f64));
+        assert!(v.get("duration_ns").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+        let phases: Vec<String> = v
+            .get("timeline")
+            .and_then(|t| t.as_array().map(|a| a.to_vec()))
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|e| e.get("phase").and_then(|p| p.as_str().map(str::to_string)))
+            .collect();
+        assert_eq!(
+            phases,
+            vec!["accept", "enqueue", "admit", "respond"],
+            "{body}"
+        );
+
+        // Unknown ids 404, garbage ids 400.
+        let (status, _) = client.get("/debug/requests/999999999").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client.get("/debug/requests/not-a-number").unwrap();
+        assert_eq!(status, 400);
+
+        // The Chrome export is a JSON array of complete events.
+        let (status, body) = client.get("/debug/trace?fmt=chrome").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+        assert!(body.contains("\"ph\":\"X\""), "{body}");
+        assert!(Json::parse(&body).is_ok(), "chrome export must parse");
+        let (status, _) = client.get("/debug/trace?fmt=svg").unwrap();
+        assert_eq!(status, 400);
         srv.stop();
     }
 

@@ -120,6 +120,21 @@ pub trait StepBackend {
     /// "same seed, same output" contract); `None` lets the backend pick.
     fn admit(&mut self, ingredients: &[String], seed: Option<u64>) -> AdmitOutcome;
 
+    /// [`StepBackend::admit`] with queue metadata attached: the enqueue
+    /// stamp (for queue-wait / TTFT attribution) and the request's
+    /// trace, which the backend threads into its decode engine so every
+    /// prefill chunk and token step lands on the request's timeline.
+    /// Defaults to plain `admit` (scripted test backends stay untraced).
+    fn admit_traced(
+        &mut self,
+        ingredients: &[String],
+        seed: Option<u64>,
+        meta: obs::reqtrace::TraceMeta,
+    ) -> AdmitOutcome {
+        let _ = meta;
+        self.admit(ingredients, seed)
+    }
+
     /// Run one token step for every active sequence; returns the
     /// requests that finished this step as `(id, recipe)`.
     fn step(&mut self) -> Vec<(u64, GeneratedRecipe)>;
@@ -196,6 +211,10 @@ struct BatchJob {
     seed: Option<u64>,
     reply: SyncSender<Result<BatchOut, SubmitError>>,
     enqueued_ns: u64,
+    /// The request's trace, if the HTTP layer attached one.
+    trace: Option<obs::reqtrace::TraceHandle>,
+    /// Admission attempts so far (bumped on head-of-line requeues).
+    attempts: u32,
 }
 
 struct InFlight {
@@ -263,6 +282,19 @@ impl BatchRunner {
         ingredients: Vec<String>,
         seed: Option<u64>,
     ) -> Result<BatchOut, SubmitError> {
+        self.submit_traced(ingredients, seed, None)
+    }
+
+    /// [`BatchRunner::submit`] carrying the request's trace. The caller
+    /// records `Enqueue` before submitting (the serving handlers do);
+    /// this method records queue-full rejections, and the runner thread
+    /// records admission, requeues and every decode step downstream.
+    pub fn submit_traced(
+        &self,
+        ingredients: Vec<String>,
+        seed: Option<u64>,
+        trace: Option<obs::reqtrace::TraceHandle>,
+    ) -> Result<BatchOut, SubmitError> {
         let tx = self.tx.as_ref().ok_or(SubmitError::Closed)?;
         // Exact backpressure: claim a queue slot before sending, give it
         // back on rejection (the runner gives it back at admission).
@@ -270,6 +302,9 @@ impl BatchRunner {
         if prev >= self.queue_cap {
             self.depth.fetch_sub(1, Ordering::SeqCst);
             obs::static_counter!("serving_queue_rejections_total").inc();
+            if let Some(t) = &trace {
+                t.record(obs::reqtrace::Phase::Reject, 0, 0);
+            }
             return Err(SubmitError::QueueFull);
         }
         obs::static_gauge!("serving_queue_depth").add(1.0);
@@ -279,6 +314,8 @@ impl BatchRunner {
             seed,
             reply: reply_tx,
             enqueued_ns: obs::Clock::now().at_ns(),
+            trace,
+            attempts: 0,
         });
         if send.is_err() {
             self.depth.fetch_sub(1, Ordering::SeqCst);
@@ -320,12 +357,13 @@ fn run_loop(
     depth: &AtomicU64,
 ) {
     let mut scheduler = Scheduler::new(cfg.depth_hi, cfg.depth_lo);
-    // Per-model twin of the aggregate latency histogram, resolved once
-    // before the step loop (never in the hot path).
-    let labeled_latency = obs::metrics::histogram(&format!(
-        "generate_latency_ns{{model=\"{}\"}}",
-        obs::metrics::label_value(&backend.model_name())
-    ));
+    // Per-model twins of the aggregate histograms, resolved once before
+    // the step loop (never in the hot path).
+    let model_label = obs::metrics::label_value(&backend.model_name());
+    let labeled_latency =
+        obs::metrics::histogram(&format!("generate_latency_ns{{model=\"{model_label}\"}}"));
+    let labeled_queue_wait =
+        obs::metrics::histogram(&format!("request_queue_wait_ns{{model=\"{model_label}\"}}"));
     let mut waiting: VecDeque<BatchJob> = VecDeque::new();
     let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
     let mut disconnected = false;
@@ -366,14 +404,19 @@ fn run_loop(
         // determinism contract) is reproducible from arrival order.
         let quota = scheduler.admit_quota(backend.free_slots(), waiting.len());
         for _ in 0..quota {
-            let Some(job) = waiting.pop_front() else { break };
-            match backend.admit(&job.ingredients, job.seed) {
+            let Some(mut job) = waiting.pop_front() else { break };
+            let meta = obs::reqtrace::TraceMeta {
+                enqueued_ns: job.enqueued_ns,
+                trace: job.trace.clone(),
+            };
+            match backend.admit_traced(&job.ingredients, job.seed, meta) {
                 AdmitOutcome::Admitted(id) => {
                     depth.fetch_sub(1, Ordering::SeqCst);
                     obs::static_gauge!("serving_queue_depth").add(-1.0);
-                    obs::static_histogram!("serving_queue_wait_ns").observe(
-                        obs::Clock::now().at_ns().saturating_sub(job.enqueued_ns),
-                    );
+                    let wait_ns = obs::Clock::now().at_ns().saturating_sub(job.enqueued_ns);
+                    obs::static_histogram!("serving_queue_wait_ns").observe(wait_ns);
+                    obs::static_histogram!("request_queue_wait_ns").observe(wait_ns);
+                    labeled_queue_wait.observe(wait_ns);
                     inflight.insert(
                         id,
                         InFlight {
@@ -386,6 +429,10 @@ fn run_loop(
                     // Transient: blocks are held by in-flight requests.
                     // Head-of-line wait for retirements instead of a
                     // spurious 429.
+                    job.attempts += 1;
+                    if let Some(t) = &job.trace {
+                        t.record(obs::reqtrace::Phase::Requeue, job.attempts, 0);
+                    }
                     waiting.push_front(job);
                     break;
                 }
@@ -394,10 +441,17 @@ fn run_loop(
                     depth.fetch_sub(1, Ordering::SeqCst);
                     obs::static_gauge!("serving_queue_depth").add(-1.0);
                     obs::static_counter!("serving_pool_rejections_total").inc();
+                    if let Some(t) = &job.trace {
+                        t.record(obs::reqtrace::Phase::Reject, 0, 0);
+                    }
                     let _ = job.reply.send(Err(SubmitError::PoolExhausted));
                 }
                 AdmitOutcome::BatchFull => {
                     // Slot accounting raced a retirement; retry next step.
+                    job.attempts += 1;
+                    if let Some(t) = &job.trace {
+                        t.record(obs::reqtrace::Phase::Requeue, job.attempts, 0);
+                    }
                     waiting.push_front(job);
                     break;
                 }
@@ -712,6 +766,25 @@ mod tests {
         // The queued requests still complete.
         bg1.join().unwrap();
         bg2.join().unwrap();
+    }
+
+    #[test]
+    fn traced_submit_threads_the_trace_through() {
+        let (runner, _) = start_fake(BatchServerConfig::default(), 4, 100, 3, 0);
+        let trace = obs::reqtrace::begin();
+        // The serving handler records Enqueue before submitting.
+        trace.record(obs::reqtrace::Phase::Enqueue, 0, 0);
+        let out = runner
+            .submit_traced(vec!["flour".into()], Some(1), Some(trace.clone()))
+            .unwrap();
+        assert_eq!(out.recipe.title, "r0");
+        let kinds: Vec<_> = trace.phases().iter().map(|p| p.phase).collect();
+        assert_eq!(
+            kinds,
+            vec![obs::reqtrace::Phase::Accept, obs::reqtrace::Phase::Enqueue],
+            "FakeBackend's default admit_traced must stay untraced"
+        );
+        runner.stop();
     }
 
     #[test]

@@ -44,7 +44,30 @@ impl HttpClient {
         ))
     }
 
+    /// `POST path` with a JSON body → `(status, headers, body)`. The
+    /// header-exposing variant, for reading `X-Trace-Id` off a response.
+    pub fn post_json_with_headers(
+        &self,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Vec<(String, String)>, String)> {
+        let raw = self.request_raw(&format!(
+            "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.addr,
+            body.len(),
+            body
+        ))?;
+        parse_response_with_headers(&raw)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
+    }
+
     fn request(&self, raw: &str) -> std::io::Result<(u16, String)> {
+        let response = self.request_raw(raw)?;
+        parse_response(&response)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
+    }
+
+    fn request_raw(&self, raw: &str) -> std::io::Result<String> {
         let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
@@ -52,8 +75,7 @@ impl HttpClient {
         stream.write_all(raw.as_bytes())?;
         let mut response = String::new();
         stream.read_to_string(&mut response)?;
-        parse_response(&response)
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
+        Ok(response)
     }
 }
 
@@ -62,6 +84,22 @@ pub fn parse_response(raw: &str) -> Option<(u16, String)> {
     let status: u16 = raw.split(' ').nth(1)?.parse().ok()?;
     let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string())?;
     Some((status, body))
+}
+
+/// Split a raw HTTP response into `(status, headers, body)`. Header
+/// names are lowercased; values keep their wire form.
+pub fn parse_response_with_headers(raw: &str) -> Option<(u16, Vec<(String, String)>, String)> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            Some((k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Some((status, headers, body.to_string()))
 }
 
 #[cfg(test)]
@@ -74,6 +112,32 @@ mod tests {
         let raw = "HTTP/1.1 404 Not Found\r\nContent-Length: 3\r\n\r\nnop";
         assert_eq!(parse_response(raw), Some((404, "nop".to_string())));
         assert_eq!(parse_response("garbage"), None);
+    }
+
+    #[test]
+    fn parse_response_with_headers_extracts_all_three() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nX-Trace-Id: 42\r\n\r\nok";
+        let (status, headers, body) = parse_response_with_headers(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
+        assert!(headers.contains(&("x-trace-id".to_string(), "42".to_string())));
+    }
+
+    #[test]
+    fn headers_variant_sees_the_trace_id() {
+        let server =
+            HttpServer::start("127.0.0.1:0", |_req| Response::text(StatusCode::Ok, "ok")).unwrap();
+        let client = HttpClient::new(server.addr());
+        let (status, headers, body) = client.post_json_with_headers("/x", "{}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
+        // The connection loop traces every parsed request, so the
+        // header is always present on this path.
+        assert!(
+            headers.iter().any(|(k, _)| k == "x-trace-id"),
+            "{headers:?}"
+        );
+        server.stop();
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body bytes.
     pub body: Vec<u8>,
+    /// The request's trace, attached by the connection loop after a
+    /// successful parse. Handlers clone it into whatever queue job they
+    /// enqueue; the connection loop seals it at response write.
+    pub trace: Option<obs::reqtrace::TraceHandle>,
 }
 
 impl Request {
@@ -145,9 +149,20 @@ impl Response {
     /// microservices architecture"), so the API must answer cross-origin
     /// browsers.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_with_trace(None)
+    }
+
+    /// Serialize to wire format, adding an `X-Trace-Id` header when the
+    /// connection carries a request trace (the id is what `/debug/requests/<id>`
+    /// looks up). `None` keeps the exact pre-tracing wire shape.
+    pub fn to_bytes_with_trace(&self, trace_id: Option<u64>) -> Vec<u8> {
+        let trace_header = match trace_id {
+            Some(id) => format!("X-Trace-Id: {id}\r\n"),
+            None => String::new(),
+        };
         let mut out = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\
-             Access-Control-Allow-Origin: *\r\n\
+             {trace_header}Access-Control-Allow-Origin: *\r\n\
              Access-Control-Allow-Methods: GET, POST, OPTIONS\r\n\
              Access-Control-Allow-Headers: Content-Type\r\n\r\n",
             self.status.code(),
@@ -273,6 +288,7 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
         query,
         headers,
         body,
+        trace: None,
     })
 }
 
@@ -359,13 +375,28 @@ fn handle_connection(stream: TcpStream, handler: &(dyn Fn(Request) -> Response +
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let response = match parse_request(&mut reader) {
-        Ok(req) => handler(req),
-        Err(e) => Response::text(e.status(), format!("bad request: {e}")),
+    // A trace begins only once the bytes parse as HTTP: unparseable
+    // connections have no request lifecycle to attribute.
+    let (response, trace) = match parse_request(&mut reader) {
+        Ok(mut req) => {
+            let trace = obs::reqtrace::begin();
+            req.trace = Some(trace.clone());
+            (handler(req), Some(trace))
+        }
+        Err(e) => (Response::text(e.status(), format!("bad request: {e}")), None),
     };
     record_request(response.status, start);
-    let _ = writer.write_all(&response.to_bytes());
+    let trace_id = trace.as_ref().map(|t| t.id());
+    let _ = writer.write_all(&response.to_bytes_with_trace(trace_id));
     let _ = writer.flush();
+    if let Some(t) = trace {
+        t.record(
+            obs::reqtrace::Phase::Respond,
+            response.status.code() as u32,
+            0,
+        );
+        obs::reqtrace::complete(&t);
+    }
 }
 
 /// Per-request telemetry: latency histogram plus a counter per status
@@ -458,6 +489,45 @@ mod tests {
         assert!(s.contains("Content-Type: application/json\r\n"));
         assert!(s.contains("Content-Length: 11\r\n"));
         assert!(s.ends_with(r#"{"ok":true}"#));
+        assert!(!s.contains("X-Trace-Id"), "untraced response grew a trace header: {s}");
+    }
+
+    #[test]
+    fn traced_response_carries_trace_id_header() {
+        let r = Response::json(StatusCode::Ok, r#"{"ok":true}"#);
+        let s = String::from_utf8(r.to_bytes_with_trace(Some(42))).unwrap();
+        assert!(s.contains("X-Trace-Id: 42\r\n"), "{s}");
+        assert!(s.ends_with(r#"{"ok":true}"#));
+    }
+
+    #[test]
+    fn connection_attaches_trace_and_completes_it() {
+        let server = HttpServer::start("127.0.0.1:0", |req| {
+            let trace = req.trace.as_ref().expect("trace attached to parsed request");
+            trace.record(obs::reqtrace::Phase::Enqueue, 1, 0);
+            Response::text(StatusCode::Ok, "ok")
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GET /traced HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        let id: u64 = buf
+            .lines()
+            .find_map(|l| l.strip_prefix("X-Trace-Id: "))
+            .expect("X-Trace-Id header present")
+            .trim()
+            .parse()
+            .expect("numeric trace id");
+        // The completed trace is retrievable and ends with Respond(200).
+        let t = obs::reqtrace::find(id).expect("trace retained after completion");
+        let phases = t.phases();
+        assert_eq!(phases.first().map(|p| p.phase), Some(obs::reqtrace::Phase::Accept));
+        assert!(phases.iter().any(|p| p.phase == obs::reqtrace::Phase::Enqueue));
+        let last = phases.last().expect("non-empty trace");
+        assert_eq!(last.phase, obs::reqtrace::Phase::Respond);
+        assert_eq!(last.a, 200);
+        server.stop();
     }
 
     #[test]

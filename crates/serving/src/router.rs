@@ -12,6 +12,9 @@ type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 #[derive(Clone, Default)]
 pub struct Router {
     routes: HashMap<(String, String), Handler>,
+    /// Prefix-matched routes (`/debug/requests/<id>`), tried after exact
+    /// matches, longest prefix first.
+    prefix_routes: Vec<(String, String, Handler)>,
     paths: Vec<String>,
 }
 
@@ -36,6 +39,24 @@ impl Router {
         self
     }
 
+    /// Register a handler for every path starting with `prefix` (the
+    /// handler parses the remainder itself, e.g. the `<id>` suffix of
+    /// `/debug/requests/<id>`). Exact routes win over prefixes; among
+    /// prefixes, the longest match wins.
+    pub fn route_prefix<F>(mut self, method: &str, prefix: &str, handler: F) -> Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.prefix_routes.push((
+            method.to_ascii_uppercase(),
+            prefix.to_string(),
+            Arc::new(handler),
+        ));
+        self.prefix_routes
+            .sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.1.cmp(&b.1)));
+        self
+    }
+
     /// Dispatch a request. `OPTIONS` on any registered path answers the
     /// CORS preflight (the decoupled-frontend contract).
     pub fn dispatch(&self, req: &Request) -> Response {
@@ -50,7 +71,23 @@ impl Router {
             .inc();
             return h(req);
         }
-        if self.paths.contains(&req.path) {
+        let mut prefix_hit = false;
+        for (method, prefix, h) in &self.prefix_routes {
+            if !req.path.starts_with(prefix.as_str()) {
+                continue;
+            }
+            prefix_hit = true;
+            if req.method == *method {
+                // Label by the registered prefix, not the request path:
+                // the suffix (`<id>`) is client-chosen and unbounded.
+                obs::metrics::counter(&format!(
+                    "http_route_hits_total{{route=\"{method} {prefix}*\"}}"
+                ))
+                .inc();
+                return h(req);
+            }
+        }
+        if self.paths.contains(&req.path) || prefix_hit {
             if req.method == "OPTIONS" {
                 return Response::preflight();
             }
@@ -76,6 +113,7 @@ mod tests {
             query: String::new(),
             headers: vec![],
             body: vec![],
+            trace: None,
         }
     }
 
@@ -124,5 +162,30 @@ mod tests {
     fn method_is_case_insensitive_at_registration() {
         let r = Router::new().route("get", "/a", |_| Response::text(StatusCode::Ok, "x"));
         assert_eq!(r.dispatch(&req("GET", "/a")).status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn prefix_route_matches_suffixed_paths() {
+        let r = Router::new()
+            .route("GET", "/debug/requests", |_| {
+                Response::text(StatusCode::Ok, "list")
+            })
+            .route_prefix("GET", "/debug/requests/", |req| {
+                Response::text(StatusCode::Ok, format!("one:{}", req.path))
+            });
+        // Exact route wins for the bare path…
+        assert_eq!(r.dispatch(&req("GET", "/debug/requests")).body, b"list");
+        // …the prefix route takes any suffix…
+        assert_eq!(
+            r.dispatch(&req("GET", "/debug/requests/17")).body,
+            b"one:/debug/requests/17"
+        );
+        // …wrong method on a prefix match is 405, not 404…
+        assert_eq!(
+            r.dispatch(&req("POST", "/debug/requests/17")).status,
+            StatusCode::MethodNotAllowed
+        );
+        // …and unrelated paths still 404.
+        assert_eq!(r.dispatch(&req("GET", "/debug/req")).status, StatusCode::NotFound);
     }
 }

@@ -63,6 +63,11 @@ const BLESSED_KERNELS: &str = "crates/tensor/src/ops/";
 /// state the non-aliasing argument in a machine-checkable header.
 const SCATTER_FNS: &[&str] = &["scatter_mut", "parallel_rows_mut", "from_raw_parts_mut"];
 
+/// Backend hand-off methods: a serving handler calling one of these
+/// gives the request away (worker pool or batch runner), so the request
+/// span must already be open.
+const BACKEND_ENTRY: &[&str] = &["execute", "submit", "submit_traced"];
+
 fn everywhere(_ctx: &FileCtx) -> bool {
     true
 }
@@ -111,7 +116,7 @@ pub fn all_rule_ids() -> Vec<&'static str> {
     ids
 }
 
-static CATALOGUE: [Rule; 8] = [
+static CATALOGUE: [Rule; 9] = [
     Rule {
         id: "unsafe-needs-safety-comment",
         summary: "every `unsafe` block/fn/impl must be immediately preceded by a structured \
@@ -153,6 +158,16 @@ static CATALOGUE: [Rule; 8] = [
         skip_tests: true,
         applies: serving_crate,
         check: check_no_panic,
+    },
+    Rule {
+        id: "trace-before-backend",
+        summary: "serving `handle*` roots must record a request-trace phase \
+                  (`record_phase`) before handing the request to a backend \
+                  (`.execute()` / `.submit()` / `.submit_traced()`) so queue wait is \
+                  attributable per request",
+        skip_tests: true,
+        applies: serving_crate,
+        check: check_trace_before_backend,
     },
     Rule {
         id: "float-reduction-order",
@@ -525,6 +540,43 @@ fn check_no_panic(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
+// trace-before-backend
+// ---------------------------------------------------------------------------
+
+fn check_trace_before_backend(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for f in &ctx.ast.fns {
+        if !f.name.starts_with("handle") {
+            continue;
+        }
+        // Calls are in source order: a `record_phase` seen before the
+        // first backend hand-off means the span is open in time.
+        let mut span_open = false;
+        for c in &f.calls {
+            if c.name() == "record_phase" {
+                span_open = true;
+            } else if c.method && BACKEND_ENTRY.contains(&c.name()) {
+                if !span_open {
+                    out.push(diag(
+                        ctx,
+                        c.line,
+                        "trace-before-backend",
+                        format!(
+                            "`{}` hands the request to a backend via `.{}()` without first \
+                             recording a request-trace phase; record `Phase::Enqueue` on the \
+                             request's trace (`obs::reqtrace::TraceSink::record_phase`) before \
+                             the hand-off so queue wait shows up in `/debug/requests/<id>`",
+                            f.display(),
+                            c.name()
+                        ),
+                    ));
+                }
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // float-reduction-order
 // ---------------------------------------------------------------------------
 
@@ -828,6 +880,34 @@ mod tests {
     fn unwrap_or_default_not_flagged() {
         let src = "fn f(v: Option<u32>) -> u32 { v.unwrap_or_default() }\n";
         assert!(rules_hit("crates/serving/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn untraced_backend_handoff_flagged() {
+        let src = "fn handle_generate(pool: &Pool, job: Job) {\n    pool.execute(job);\n}\n";
+        assert_eq!(
+            rules_hit("crates/serving/src/x.rs", src),
+            vec![("trace-before-backend", 2)]
+        );
+    }
+
+    #[test]
+    fn traced_backend_handoff_clean() {
+        let src = "fn handle_generate(t: &Trace, pool: &Pool, job: Job) {\n    t.record_phase(Phase::Enqueue, 0, 0);\n    pool.execute(job);\n}\n";
+        assert!(rules_hit("crates/serving/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_rule_only_covers_serving_handlers() {
+        // Not a `handle*` root: the worker owns an already-open span.
+        let worker = "fn run_worker(pool: &Pool, job: Job) {\n    pool.execute(job);\n}\n";
+        assert!(rules_hit("crates/serving/src/x.rs", worker).is_empty());
+        // Same source outside the serving crate: out of scope.
+        let src = "fn handle_generate(pool: &Pool, job: Job) {\n    pool.execute(job);\n}\n";
+        assert!(rules_hit("crates/models/src/x.rs", src).is_empty());
+        // A handler with no backend hand-off has nothing to gate.
+        let pure = "fn handle_health() -> Response {\n    render()\n}\n";
+        assert!(rules_hit("crates/serving/src/x.rs", pure).is_empty());
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Seeded trace-before-backend violations: the hand-offs on lines 6 and
+//! 17 give the request to a backend before recording any trace phase.
+//! The traced handler, the worker helper and the span-free handler are clean.
+
+fn handle_generate(pool: &Pool, job: Job) -> Response {
+    pool.execute(job)
+}
+
+fn handle_generate_traced(req: &Request, pool: &Pool, job: Job) -> Response {
+    if let Some(t) = &req.trace {
+        t.record_phase(Phase::Enqueue, 0, 0);
+    }
+    pool.execute(job)
+}
+
+fn handle_generate_batched(runner: &Runner, pantry: Vec<String>) -> Response {
+    runner.submit_traced(pantry, None, None)
+}
+
+fn requeue_worker(runner: &Runner, pantry: Vec<String>) -> Response {
+    runner.submit(pantry, None)
+}
+
+fn handle_healthz() -> Response {
+    render_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn handle_exempt() {
+        pool().execute(job());
+    }
+}

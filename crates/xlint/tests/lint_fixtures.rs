@@ -104,6 +104,25 @@ fn panics_fixture_ignored_outside_serving() {
 }
 
 #[test]
+fn trace_gate_fixture_flags_untraced_handoffs_only() {
+    let src = include_str!("fixtures/trace_gate.rs");
+    assert_eq!(
+        diags("crates/serving/src/fixture.rs", src),
+        vec![
+            ("trace-before-backend", 6),
+            ("trace-before-backend", 17),
+        ],
+        "the traced handler, the non-handler worker, the span-free handler \
+         and the cfg(test) mod must stay clean"
+    );
+    assert_eq!(
+        diags("crates/models/src/fixture.rs", src),
+        vec![],
+        "trace-before-backend only applies to crates/serving"
+    );
+}
+
+#[test]
 fn float_fixture_flags_f32_reductions_only() {
     let src = include_str!("fixtures/float_sums.rs");
     assert_eq!(

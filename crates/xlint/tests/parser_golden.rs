@@ -36,6 +36,7 @@ fn item_tree_matches_the_real_file() {
             "SamplerConfig::default",
             "SamplerConfig::greedy_until",
             "generate",
+            "generate_traced",
             "metric_label",
             "select_token",
             "logits",
@@ -57,7 +58,7 @@ fn item_tree_matches_the_real_file() {
         assert!(f.unsafe_lines.is_empty(), "sample.rs has no unsafe blocks");
     }
     // Everything from `logits` on lives inside the #[cfg(test)] module.
-    for f in &ast.fns[5..] {
+    for f in &ast.fns[6..] {
         assert_eq!(f.module, vec!["tests".to_string()], "{}", f.display());
     }
     // `impl Default for SamplerConfig` resolves to the *self* type.
@@ -86,8 +87,20 @@ fn use_map_covers_plain_and_braced_imports() {
 #[test]
 fn generate_events_land_on_their_source_lines() {
     let (src, ast) = golden();
-    let generate = ast.fns.iter().find(|f| f.name == "generate").unwrap();
-    assert_eq!(generate.line, line_of(src, "pub fn generate<M: InferenceModel"));
+    let delegator = ast.fns.iter().find(|f| f.name == "generate").unwrap();
+    assert_eq!(delegator.line, line_of(src, "pub fn generate<M: InferenceModel"));
+
+    // The decode body (and so all the interesting events) lives in the
+    // traced variant; `generate` is a thin untraced delegator.
+    let generate = ast
+        .fns
+        .iter()
+        .find(|f| f.name == "generate_traced")
+        .unwrap();
+    assert_eq!(
+        generate.line,
+        line_of(src, "pub fn generate_traced<M: InferenceModel")
+    );
 
     let expect_line = line_of(src, "expect(\"logits available after prompt\")");
     assert!(

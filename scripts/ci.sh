@@ -59,4 +59,7 @@ cargo run --release -q -p ratatouille-bench --bin quantized_smoke --offline
 echo "== batched-decode smoke (batch determinism, KV-prefix hits, >=2x shared-batch throughput, long-context sweep determinism) =="
 cargo run --release -q -p ratatouille-bench --bin batched_smoke --offline
 
+echo "== request-tracing smoke (X-Trace-Id, /debug/requests lifecycle, chrome export, <=2% decode overhead) =="
+cargo run --release -q -p ratatouille-bench --bin trace_smoke --offline
+
 echo "== ci.sh: all gates passed =="
